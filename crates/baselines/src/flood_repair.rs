@@ -1,0 +1,116 @@
+//! Naive repair by re-flooding — the `Θ(m)` dynamic baseline.
+//!
+//! Without the paper's machinery, the straightforward way to repair a
+//! spanning tree after an edge deletion is to rebuild it: clear the marks of
+//! the affected component and flood it again. That costs `Θ(m)` messages per
+//! update, which is exactly the baseline the impromptu repairs improve upon
+//! (`O(n)` for ST, `O(n log n / log log n)` for MST, independent of `m`).
+
+use kkt_congest::flood::flood_spanning_tree;
+use kkt_congest::{CongestError, Network};
+use kkt_graphs::NodeId;
+
+/// Outcome of a flood-based repair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FloodRepairOutcome {
+    /// Whether the deleted edge was a tree edge (otherwise nothing was done).
+    pub was_tree_edge: bool,
+    /// Messages spent on this repair.
+    pub messages: u64,
+}
+
+/// Deletes edge `{u, v}` and, if it was a tree edge, rebuilds the spanning
+/// tree of `u`'s component by flooding.
+///
+/// # Errors
+///
+/// Propagates simulator errors; deleting a non-existent edge is reported as a
+/// no-op with zero cost.
+pub fn flood_repair_delete(
+    net: &mut Network,
+    u: NodeId,
+    v: NodeId,
+) -> Result<FloodRepairOutcome, CongestError> {
+    let before = net.cost();
+    let Some((_, was_marked)) = net.delete_edge(u, v) else {
+        return Ok(FloodRepairOutcome { was_tree_edge: false, messages: 0 });
+    };
+    if !was_marked {
+        return Ok(FloodRepairOutcome { was_tree_edge: false, messages: 0 });
+    }
+    // Drop the old marks on both halves of the split tree and re-flood the
+    // component from scratch.
+    let mut old_edges: Vec<_> = net
+        .forest()
+        .tree_of(net.graph(), u)
+        .iter()
+        .chain(net.forest().tree_of(net.graph(), v).iter())
+        .flat_map(|&x| net.forest().tree_edges_of(net.graph(), x))
+        .collect();
+    old_edges.dedup();
+    for e in old_edges {
+        net.unmark(e);
+    }
+    let outcome = flood_spanning_tree(net, u)?;
+    net.mark_all(&outcome.tree_edges);
+    let delta = net.cost() - before;
+    Ok(FloodRepairOutcome { was_tree_edge: true, messages: delta.messages })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kkt_congest::NetworkConfig;
+    use kkt_graphs::{generators, kruskal, verify_spanning_forest};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn network(n: usize, p: f64, seed: u64) -> Network {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::connected_gnp(n, p, 100, &mut rng);
+        let mst = kruskal(&g);
+        let mut net = Network::new(g, NetworkConfig::default());
+        net.mark_all(&mst.edges);
+        net
+    }
+
+    #[test]
+    fn repairs_a_tree_edge_deletion() {
+        let mut net = network(40, 0.2, 1);
+        let tree_edge = net.forest().edges()[5];
+        let e = *net.graph().edge(tree_edge);
+        let outcome = flood_repair_delete(&mut net, e.u, e.v).unwrap();
+        assert!(outcome.was_tree_edge);
+        assert!(outcome.messages > 0);
+        verify_spanning_forest(net.graph(), &net.marked_forest_snapshot()).unwrap();
+    }
+
+    #[test]
+    fn non_tree_deletion_is_free() {
+        let mut net = network(30, 0.4, 2);
+        let non_tree = net
+            .graph()
+            .live_edges()
+            .find(|&e| !net.forest().is_marked(e))
+            .unwrap();
+        let e = *net.graph().edge(non_tree);
+        let outcome = flood_repair_delete(&mut net, e.u, e.v).unwrap();
+        assert!(!outcome.was_tree_edge);
+        assert_eq!(outcome.messages, 0);
+        let missing = flood_repair_delete(&mut net, e.u, e.v).unwrap();
+        assert_eq!(missing.messages, 0);
+    }
+
+    #[test]
+    fn cost_scales_with_m_unlike_the_impromptu_repair() {
+        let mut run = |p: f64, seed: u64| {
+            let mut net = network(40, p, seed);
+            let tree_edge = net.forest().edges()[10];
+            let e = *net.graph().edge(tree_edge);
+            flood_repair_delete(&mut net, e.u, e.v).unwrap().messages
+        };
+        let sparse = run(0.08, 3);
+        let dense = run(0.8, 4);
+        assert!(dense > 3 * sparse, "dense {dense} vs sparse {sparse}");
+    }
+}

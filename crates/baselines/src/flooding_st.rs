@@ -1,0 +1,60 @@
+//! Spanning-tree construction by flooding — the `Θ(m)` baseline.
+//!
+//! This is the algorithm the Ω(m) "folk theorem" (Awerbuch, Goldreich, Peleg,
+//! Vainish 1990) says you cannot beat — and which King–Kutten–Thorup's
+//! `Build ST` beats with `O(n log n)` messages. One designated node floods
+//! the network; every node adopts the first sender as its parent. We simply
+//! run the genuine flooding protocol of [`kkt_congest::flood`] and mark the
+//! resulting parent edges.
+
+use kkt_congest::flood::{flood_spanning_tree, FloodOutcome};
+use kkt_congest::{CongestError, Network};
+use kkt_graphs::NodeId;
+
+/// Builds a broadcast/spanning tree of the component containing `root` by
+/// flooding, marks it in the network's forest, and returns the flooding
+/// statistics (`Θ(m)` messages).
+///
+/// # Errors
+///
+/// Propagates simulator errors (e.g. an out-of-range root).
+pub fn build_st_by_flooding(net: &mut Network, root: NodeId) -> Result<FloodOutcome, CongestError> {
+    let outcome = flood_spanning_tree(net, root)?;
+    net.mark_all(&outcome.tree_edges);
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kkt_congest::NetworkConfig;
+    use kkt_graphs::{generators, verify_spanning_forest};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn flooding_marks_a_spanning_tree() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = generators::connected_gnp(50, 0.2, 10, &mut rng);
+        let mut net = Network::new(g, NetworkConfig::default());
+        let outcome = build_st_by_flooding(&mut net, 0).unwrap();
+        assert_eq!(outcome.reached.len(), 50);
+        verify_spanning_forest(net.graph(), &net.marked_forest_snapshot()).unwrap();
+    }
+
+    #[test]
+    fn message_count_scales_with_m() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 60;
+        let sparse = generators::connected_with_edges(n, n + 10, 5, &mut rng);
+        let dense = generators::complete(n, 5, &mut rng);
+        let mut run = |g: kkt_graphs::Graph| {
+            let mut net = Network::new(g, NetworkConfig::default());
+            build_st_by_flooding(&mut net, 0).unwrap();
+            net.cost().messages
+        };
+        let sparse_msgs = run(sparse);
+        let dense_msgs = run(dense);
+        assert!(dense_msgs > 5 * sparse_msgs);
+    }
+}

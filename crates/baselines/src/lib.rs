@@ -1,0 +1,22 @@
+//! Baseline algorithms the paper compares against.
+//!
+//! * [`ghs_sync`] — a synchronous fragment-merging MST construction in the
+//!   style of Gallager–Humblet–Spira (1983): the previous best message bound,
+//!   `O(m + n log n)`.
+//! * [`flooding_st`] — broadcast-tree construction by flooding: the `Θ(m)`
+//!   upper bound matching the "folk theorem" lower bound the paper
+//!   circumvents.
+//! * [`flood_repair`] — repairing a broken tree by re-flooding the affected
+//!   component: the naive `Θ(m)` dynamic baseline.
+//!
+//! All baselines run on the same [`kkt_congest::Network`] and report costs
+//! through the same counters as the King–Kutten–Thorup algorithms, so the
+//! experiment harness compares like with like.
+
+pub mod flood_repair;
+pub mod flooding_st;
+pub mod ghs_sync;
+
+pub use flood_repair::flood_repair_delete;
+pub use flooding_st::build_st_by_flooding;
+pub use ghs_sync::build_mst_ghs;

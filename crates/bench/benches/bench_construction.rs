@@ -1,0 +1,62 @@
+//! Criterion benches for experiment E1/E2/E8: construction message counts and
+//! wall-clock cost of the simulated constructions (KKT MST, KKT ST, GHS,
+//! flooding) on a fixed workload family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use kkt_baselines::{build_mst_ghs, build_st_by_flooding};
+use kkt_congest::{Network, NetworkConfig};
+use kkt_core::{build_mst, build_st, KktConfig};
+use kkt_graphs::{generators, Graph};
+
+fn workload(n: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generators::connected_with_edges(n, 4 * n, 1_000, &mut rng)
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let config = KktConfig::default();
+    let mut group = c.benchmark_group("construction");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for &n in &[64usize, 128] {
+        let g = workload(n, 7);
+        group.bench_with_input(BenchmarkId::new("kkt_build_mst", n), &g, |b, g| {
+            b.iter(|| {
+                let mut net = Network::new(g.clone(), NetworkConfig::synchronous(1));
+                let mut rng = StdRng::seed_from_u64(2);
+                build_mst(&mut net, &config, &mut rng).unwrap();
+                net.cost().messages
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("kkt_build_st", n), &g, |b, g| {
+            b.iter(|| {
+                let mut net = Network::new(g.clone(), NetworkConfig::synchronous(3));
+                let mut rng = StdRng::seed_from_u64(4);
+                build_st(&mut net, &config, &mut rng).unwrap();
+                net.cost().messages
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ghs_build_mst", n), &g, |b, g| {
+            b.iter(|| {
+                let mut net = Network::new(g.clone(), NetworkConfig::synchronous(5));
+                build_mst_ghs(&mut net);
+                net.cost().messages
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("flooding_st", n), &g, |b, g| {
+            b.iter(|| {
+                let mut net = Network::new(g.clone(), NetworkConfig::synchronous(6));
+                build_st_by_flooding(&mut net, 0).unwrap();
+                net.cost().messages
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

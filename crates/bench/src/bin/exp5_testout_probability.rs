@@ -1,0 +1,15 @@
+//! Experiment binary: see `DESIGN.md` §4 and `EXPERIMENTS.md`.
+//!
+//! Scale is controlled by the `KKT_SCALE` environment variable
+//! (`large` for the full sweep, anything else for the quick one) and the
+//! seed by `KKT_SEED`.
+
+use kkt_bench::experiments;
+use kkt_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let seed = std::env::var("KKT_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0xFEED);
+    let table = experiments::exp5_testout_probability(scale, seed);
+    println!("{table}");
+}

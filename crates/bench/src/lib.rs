@@ -1,0 +1,70 @@
+//! Experiment harness for the `kkt-spanning` workspace.
+//!
+//! The paper has no empirical tables or figures — its evaluation is a set of
+//! theorems (see `DESIGN.md` §4 and `EXPERIMENTS.md`). Each function in
+//! [`experiments`] regenerates the measurement that checks one of those
+//! claims and returns a printable table; the `exp*` binaries are thin
+//! wrappers, and the Criterion benches in `benches/` time the same code.
+//!
+//! Scale is controlled by [`Scale`]: the default keeps every binary under a
+//! few seconds; `KKT_SCALE=large` (environment variable) runs the sweeps the
+//! numbers in `EXPERIMENTS.md` were recorded with.
+
+pub mod experiments;
+pub mod stats;
+pub mod table;
+
+pub use stats::Summary;
+pub use table::Table;
+
+/// Sweep sizes for the experiment binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Quick sweeps (seconds) — used by default and in CI.
+    Quick,
+    /// The full sweeps reported in `EXPERIMENTS.md` (minutes).
+    Large,
+}
+
+impl Scale {
+    /// Reads the scale from the `KKT_SCALE` environment variable
+    /// (`large`/`full` → [`Scale::Large`], anything else → [`Scale::Quick`]).
+    pub fn from_env() -> Self {
+        match std::env::var("KKT_SCALE").unwrap_or_default().to_lowercase().as_str() {
+            "large" | "full" => Scale::Large,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Node counts for construction sweeps.
+    pub fn construction_sizes(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![64, 128, 256],
+            Scale::Large => vec![64, 128, 256, 512, 1024, 2048],
+        }
+    }
+
+    /// Node counts for repair sweeps.
+    pub fn repair_sizes(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![64, 128, 256],
+            Scale::Large => vec![128, 256, 512, 1024, 2048],
+        }
+    }
+
+    /// Trials per configuration.
+    pub fn trials(self) -> usize {
+        match self {
+            Scale::Quick => 3,
+            Scale::Large => 10,
+        }
+    }
+
+    /// Trials for probability-estimation experiments.
+    pub fn probability_trials(self) -> usize {
+        match self {
+            Scale::Quick => 2_000,
+            Scale::Large => 20_000,
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Small summary statistics for experiment outputs.
+
+/// Mean / standard deviation / min / max of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 denominator; 0 for singletons).
+    pub stddev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Sample size.
+    pub count: usize,
+}
+
+impl Summary {
+    /// Summarises a sample. Returns zeros for an empty sample.
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Summary { mean: 0.0, stddev: 0.0, min: 0.0, max: 0.0, count: 0 };
+        }
+        let count = values.len();
+        let mean = values.iter().sum::<f64>() / count as f64;
+        let var = if count > 1 {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (count - 1) as f64
+        } else {
+            0.0
+        };
+        Summary {
+            mean,
+            stddev: var.sqrt(),
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            count,
+        }
+    }
+
+    /// Summarises integer samples.
+    pub fn of_u64(values: &[u64]) -> Self {
+        let as_f64: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+        Self::of(&as_f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.stddev - 2.138089935).abs() < 1e-6);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.count, 8);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let e = Summary::of(&[]);
+        assert_eq!(e.count, 0);
+        assert_eq!(e.mean, 0.0);
+        let s = Summary::of_u64(&[7]);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.stddev, 0.0);
+    }
+}

@@ -1,0 +1,446 @@
+//! Generic broadcast-and-echo over a marked tree.
+//!
+//! This is the basic communication step of the paper (§1, citing GHS): the
+//! initiator broadcasts a payload down its tree; leaves echo; internal nodes
+//! aggregate their children's echoes with their own local value and pass the
+//! result up. One invocation costs exactly `2(|T| − 1)` messages and
+//! `2·height(T)` time on a tree `T`.
+//!
+//! The pattern is generic over a [`TreeAggregate`]: what payload travels down,
+//! what value each node computes locally from its KT1 view, and how values
+//! combine on the way up. Every primitive of the paper (TestOut, HP-TestOut,
+//! the interval searches of FindMin, the XOR sketches of FindAny, path queries
+//! for insertions) is an instance.
+//!
+//! Accounting honesty: protocol parameters (hash functions, intervals, the
+//! random evaluation point α) are always placed in the `Down` payload and
+//! non-root nodes compute only from that payload and their own view — the
+//! aggregate value handed to every node's program is configuration for the
+//! *root*, mirroring "x broadcasts h in one message".
+
+use kkt_graphs::NodeId;
+
+use crate::engine::{Engine, Outbox, Protocol};
+use crate::error::CongestError;
+use crate::message::BitSized;
+use crate::model::{Network, NodeView};
+
+/// An aggregation scheme run by one broadcast-and-echo.
+pub trait TreeAggregate: Clone {
+    /// Payload broadcast down the tree.
+    type Down: Clone + BitSized;
+    /// Value echoed up the tree.
+    type Up: Clone + BitSized;
+    /// Final value computed at the root.
+    type Output;
+
+    /// The payload the root injects (may consult the root's own view).
+    fn root_payload(&self, root_view: &NodeView) -> Self::Down;
+
+    /// The local contribution of a node, computed from its KT1 view and the
+    /// received payload only.
+    fn local(&self, view: &NodeView, down: &Self::Down) -> Self::Up;
+
+    /// Combines an accumulated value with one child's echo.
+    fn combine(&self, view: &NodeView, acc: Self::Up, child: Self::Up) -> Self::Up;
+
+    /// Hook applied to a node's fully combined value just before it is echoed
+    /// to its parent `parent`. The default passes the value through; path
+    /// aggregates (e.g. "heaviest edge on the path to the root") override it
+    /// to fold in the edge leading to the parent.
+    fn finalize_up(&self, _view: &NodeView, _parent: NodeId, up: Self::Up) -> Self::Up {
+        up
+    }
+
+    /// Produces the root's output from the fully aggregated value.
+    fn finish(&self, root_view: &NodeView, down: &Self::Down, total: Self::Up) -> Self::Output;
+}
+
+/// Wire format of the broadcast-and-echo protocol.
+#[derive(Debug, Clone)]
+pub enum BeMsg<D, U> {
+    /// Payload travelling from the root towards the leaves.
+    Down(D),
+    /// Aggregated value travelling from the leaves towards the root.
+    Up(U),
+}
+
+impl<D: BitSized, U: BitSized> BitSized for BeMsg<D, U> {
+    fn bit_size(&self) -> usize {
+        match self {
+            BeMsg::Down(d) => d.bit_size(),
+            BeMsg::Up(u) => u.bit_size(),
+        }
+    }
+}
+
+/// Per-node state machine of one broadcast-and-echo.
+pub struct BroadcastEcho<A: TreeAggregate> {
+    aggregate: A,
+    is_root: bool,
+    parent: Option<NodeId>,
+    pending: usize,
+    down: Option<A::Down>,
+    acc: Option<A::Up>,
+    output: Option<A::Output>,
+}
+
+impl<A: TreeAggregate> BroadcastEcho<A> {
+    /// Creates the per-node program; `is_root` marks the initiator.
+    pub fn new(aggregate: A, is_root: bool) -> Self {
+        BroadcastEcho {
+            aggregate,
+            is_root,
+            parent: None,
+            pending: 0,
+            down: None,
+            acc: None,
+            output: None,
+        }
+    }
+
+    fn begin(
+        &mut self,
+        view: &NodeView,
+        down: A::Down,
+        parent: Option<NodeId>,
+        out: &mut Outbox<BeMsg<A::Down, A::Up>>,
+    ) {
+        let local = self.aggregate.local(view, &down);
+        let children: Vec<NodeId> = view
+            .tree_edges()
+            .map(|e| e.neighbor)
+            .filter(|&x| Some(x) != parent)
+            .collect();
+        self.parent = parent;
+        self.pending = children.len();
+        if self.pending == 0 {
+            // Leaf (or isolated root): echo immediately.
+            self.complete(view, local, out, &down);
+        } else {
+            for c in children {
+                out.send(c, BeMsg::Down(down.clone()));
+            }
+            self.acc = Some(local);
+        }
+        self.down = Some(down);
+    }
+
+    fn complete(
+        &mut self,
+        view: &NodeView,
+        total: A::Up,
+        out: &mut Outbox<BeMsg<A::Down, A::Up>>,
+        down: &A::Down,
+    ) {
+        if self.is_root {
+            self.output = Some(self.aggregate.finish(view, down, total));
+        } else if let Some(p) = self.parent {
+            let finalized = self.aggregate.finalize_up(view, p, total);
+            out.send(p, BeMsg::Up(finalized));
+        }
+    }
+}
+
+impl<A: TreeAggregate> Protocol for BroadcastEcho<A> {
+    type Msg = BeMsg<A::Down, A::Up>;
+    type Output = A::Output;
+
+    fn on_start(&mut self, view: &NodeView, out: &mut Outbox<Self::Msg>) {
+        if self.is_root {
+            let down = self.aggregate.root_payload(view);
+            self.begin(view, down, None, out);
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        msg: Self::Msg,
+        view: &NodeView,
+        out: &mut Outbox<Self::Msg>,
+    ) {
+        match msg {
+            BeMsg::Down(d) => {
+                // In a tree a node receives exactly one Down, from its parent.
+                self.begin(view, d, Some(from), out);
+            }
+            BeMsg::Up(u) => {
+                let down = self.down.clone().expect("Up received before Down");
+                let acc = self.acc.take().expect("Up received before local value was computed");
+                let merged = self.aggregate.combine(view, acc, u);
+                self.pending -= 1;
+                if self.pending == 0 {
+                    self.complete(view, merged, out, &down);
+                } else {
+                    self.acc = Some(merged);
+                }
+            }
+        }
+    }
+
+    fn output(&self) -> Option<Self::Output> {
+        // Output is only ever produced at the root; `A::Output` is not Clone in
+        // general, so hand it out by taking it when first requested.
+        None
+    }
+}
+
+/// Runs one broadcast-and-echo rooted at `root` and returns the root's output.
+///
+/// # Errors
+///
+/// Propagates engine errors; returns [`CongestError::MissingOutput`] if the
+/// protocol finished without the root producing a value (which indicates the
+/// marked edge set is not a tree).
+pub fn run_broadcast_echo<A: TreeAggregate>(
+    net: &mut Network,
+    root: NodeId,
+    aggregate: A,
+) -> Result<A::Output, CongestError> {
+    if root >= net.node_count() {
+        return Err(CongestError::InvalidNode(root));
+    }
+    net.cost_mut().record_broadcast_echo();
+    let (mut programs, _stats) =
+        Engine::run(net, &[root], |node| BroadcastEcho::new(aggregate.clone(), node == root))?;
+    programs
+        .get_mut(&root)
+        .and_then(|p| p.output.take())
+        .ok_or(CongestError::MissingOutput("broadcast-and-echo root output"))
+}
+
+// ---------------------------------------------------------------------------
+// Stock aggregates
+// ---------------------------------------------------------------------------
+
+/// Counts the nodes of the tree.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountNodes;
+
+impl TreeAggregate for CountNodes {
+    type Down = ();
+    type Up = u64;
+    type Output = u64;
+
+    fn root_payload(&self, _root_view: &NodeView) -> Self::Down {}
+
+    fn local(&self, _view: &NodeView, _down: &Self::Down) -> u64 {
+        1
+    }
+
+    fn combine(&self, _view: &NodeView, acc: u64, child: u64) -> u64 {
+        acc + child
+    }
+
+    fn finish(&self, _root_view: &NodeView, _down: &Self::Down, total: u64) -> u64 {
+        total
+    }
+}
+
+/// Global facts about a tree gathered in one broadcast-and-echo: size, sum of
+/// degrees (the paper's `B`), maximum raw weight, maximum edge number and
+/// maximum node ID. This is the "step 0 / step 2" aggregate that `FindMin`
+/// and `HP-TestOut` use to size hash functions and pick primes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TreeStats;
+
+/// Result of the [`TreeStats`] aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeStatsOutput {
+    /// Number of nodes in the tree.
+    pub size: u64,
+    /// Sum over tree nodes of their graph degree (counts each incident edge
+    /// once per endpoint inside the tree) — the paper's `B`.
+    pub degree_sum: u64,
+    /// Maximum raw weight of any edge incident to the tree (`maxWt`).
+    pub max_weight: u64,
+    /// Maximum edge number of any edge incident to the tree (`maxEdgeNum`),
+    /// packed as `u128`.
+    pub max_edge_number: u128,
+    /// Maximum node identifier in the tree (`maxID`).
+    pub max_id: u64,
+}
+
+/// Echo payload of [`TreeStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeStatsUp {
+    size: u64,
+    degree_sum: u64,
+    max_weight: u64,
+    max_edge_number: u128,
+    max_id: u64,
+}
+
+impl BitSized for TreeStatsUp {
+    fn bit_size(&self) -> usize {
+        self.size.bit_size()
+            + self.degree_sum.bit_size()
+            + self.max_weight.bit_size()
+            + self.max_edge_number.bit_size()
+            + self.max_id.bit_size()
+    }
+}
+
+impl TreeAggregate for TreeStats {
+    type Down = ();
+    type Up = TreeStatsUp;
+    type Output = TreeStatsOutput;
+
+    fn root_payload(&self, _root_view: &NodeView) -> Self::Down {}
+
+    fn local(&self, view: &NodeView, _down: &Self::Down) -> TreeStatsUp {
+        TreeStatsUp {
+            size: 1,
+            degree_sum: view.degree() as u64,
+            max_weight: view.incident.iter().map(|e| e.weight).max().unwrap_or(0),
+            max_edge_number: view
+                .incident
+                .iter()
+                .map(|e| e.edge_number.as_u128())
+                .max()
+                .unwrap_or(0),
+            max_id: view.id,
+        }
+    }
+
+    fn combine(&self, _view: &NodeView, acc: TreeStatsUp, child: TreeStatsUp) -> TreeStatsUp {
+        TreeStatsUp {
+            size: acc.size + child.size,
+            degree_sum: acc.degree_sum + child.degree_sum,
+            max_weight: acc.max_weight.max(child.max_weight),
+            max_edge_number: acc.max_edge_number.max(child.max_edge_number),
+            max_id: acc.max_id.max(child.max_id),
+        }
+    }
+
+    fn finish(
+        &self,
+        _root_view: &NodeView,
+        _down: &Self::Down,
+        total: TreeStatsUp,
+    ) -> TreeStatsOutput {
+        TreeStatsOutput {
+            size: total.size,
+            degree_sum: total.degree_sum,
+            max_weight: total.max_weight,
+            max_edge_number: total.max_edge_number,
+            max_id: total.max_id,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::NetworkConfig;
+    use kkt_graphs::{generators, kruskal};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn marked_network(n: usize, seed: u64) -> Network {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::connected_gnp(n, 0.15, 100, &mut rng);
+        let mst = kruskal(&g);
+        let mut net = Network::new(g, NetworkConfig::default());
+        net.mark_all(&mst.edges);
+        net
+    }
+
+    #[test]
+    fn count_nodes_returns_tree_size() {
+        let mut net = marked_network(37, 1);
+        for root in [0usize, 5, 36] {
+            let count = run_broadcast_echo(&mut net, root, CountNodes).unwrap();
+            assert_eq!(count, 37);
+        }
+    }
+
+    #[test]
+    fn count_nodes_on_singleton_fragment() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = generators::connected_gnp(10, 0.3, 10, &mut rng);
+        let mut net = Network::new(g, NetworkConfig::default());
+        // No marks: every node is its own fragment.
+        let count = run_broadcast_echo(&mut net, 4, CountNodes).unwrap();
+        assert_eq!(count, 1);
+        assert_eq!(net.cost().messages, 0, "a singleton broadcast-and-echo is free");
+    }
+
+    #[test]
+    fn message_count_is_twice_tree_edges() {
+        let mut net = marked_network(50, 3);
+        let before = net.cost();
+        run_broadcast_echo(&mut net, 0, CountNodes).unwrap();
+        let delta = net.cost() - before;
+        assert_eq!(delta.messages, 2 * 49);
+        assert_eq!(delta.broadcast_echoes, 1);
+        assert!(delta.max_message_bits <= 64);
+    }
+
+    #[test]
+    fn tree_stats_match_oracle() {
+        let mut net = marked_network(40, 4);
+        let stats = run_broadcast_echo(&mut net, 7, TreeStats).unwrap();
+        let g = net.graph();
+        assert_eq!(stats.size, 40);
+        let degree_sum: u64 = g.nodes().map(|x| g.degree(x) as u64).sum();
+        assert_eq!(stats.degree_sum, degree_sum);
+        assert_eq!(stats.max_weight, g.max_weight());
+        assert_eq!(stats.max_edge_number, g.max_edge_number().as_u128());
+        let max_id = g.nodes().map(|x| g.id_of(x)).max().unwrap();
+        assert_eq!(stats.max_id, max_id);
+    }
+
+    #[test]
+    fn tree_stats_respect_fragment_boundaries() {
+        // Two fragments: marks only on one of them.
+        let mut g = kkt_graphs::Graph::new(6);
+        let e01 = g.add_edge(0, 1, 5).unwrap();
+        let e12 = g.add_edge(1, 2, 7).unwrap();
+        g.add_edge(3, 4, 9).unwrap();
+        g.add_edge(4, 5, 11).unwrap();
+        g.add_edge(2, 3, 100).unwrap();
+        let mut net = Network::new(g, NetworkConfig::default());
+        net.mark(e01);
+        net.mark(e12);
+        let stats = run_broadcast_echo(&mut net, 0, TreeStats).unwrap();
+        assert_eq!(stats.size, 3);
+        // degree_sum counts all incident edges of nodes 0,1,2 (including the
+        // unmarked 2-3 edge).
+        assert_eq!(stats.degree_sum, 1 + 2 + 2);
+        assert_eq!(stats.max_weight, 100, "the inter-fragment edge is incident to node 2");
+    }
+
+    #[test]
+    fn works_under_async_scheduler() {
+        let mut net = marked_network(30, 5);
+        net.set_config(NetworkConfig::asynchronous(11, 7));
+        let count = run_broadcast_echo(&mut net, 3, CountNodes).unwrap();
+        assert_eq!(count, 30);
+        assert_eq!(net.cost().messages, 2 * 29);
+    }
+
+    #[test]
+    fn invalid_root_is_rejected() {
+        let mut net = marked_network(10, 6);
+        assert!(matches!(
+            run_broadcast_echo(&mut net, 999, CountNodes),
+            Err(CongestError::InvalidNode(999))
+        ));
+    }
+
+    #[test]
+    fn time_is_proportional_to_height_not_size() {
+        // A star: height 1, so the makespan should be 2 regardless of size.
+        let mut g = kkt_graphs::Graph::new(41);
+        let mut edges = Vec::new();
+        for i in 1..41 {
+            edges.push(g.add_edge(0, i, i as u64).unwrap());
+        }
+        let mut net = Network::new(g, NetworkConfig::default());
+        net.mark_all(&edges);
+        run_broadcast_echo(&mut net, 0, CountNodes).unwrap();
+        assert_eq!(net.cost().time, 2);
+    }
+}

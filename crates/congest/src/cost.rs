@@ -1,0 +1,150 @@
+//! Communication cost accounting.
+//!
+//! Every theorem in the paper is a statement about *messages* and *time*, so
+//! the simulator's primary outputs are the counters collected here rather than
+//! wall-clock durations. A [`CostTracker`] accumulates over the lifetime of a
+//! [`crate::Network`]; [`CostReport`] is a snapshot used for deltas
+//! ("how much did this FindMin cost?").
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Sub;
+
+/// Cumulative communication costs of a network.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostTracker {
+    /// Total messages sent over edges.
+    pub messages: u64,
+    /// Total bits sent (semantic sizes, see [`crate::BitSized`]).
+    pub bits: u64,
+    /// Total simulated time units. Under the synchronous scheduler this is the
+    /// number of rounds; under an asynchronous scheduler it is the makespan.
+    pub time: u64,
+    /// Number of broadcast-and-echo invocations (the unit the paper's
+    /// `O(log n / log log n)` factors count).
+    pub broadcast_echoes: u64,
+    /// Largest single message observed, in bits.
+    pub max_message_bits: u64,
+}
+
+impl CostTracker {
+    /// A zeroed tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one message of the given size.
+    pub fn record_message(&mut self, bits: u64) {
+        self.messages += 1;
+        self.bits += bits;
+        self.max_message_bits = self.max_message_bits.max(bits);
+    }
+
+    /// Records elapsed time (takes the max: engines report makespans).
+    pub fn record_time(&mut self, elapsed: u64) {
+        self.time += elapsed;
+    }
+
+    /// Records one broadcast-and-echo invocation.
+    pub fn record_broadcast_echo(&mut self) {
+        self.broadcast_echoes += 1;
+    }
+
+    /// Snapshot of the current totals.
+    pub fn report(&self) -> CostReport {
+        CostReport {
+            messages: self.messages,
+            bits: self.bits,
+            time: self.time,
+            broadcast_echoes: self.broadcast_echoes,
+            max_message_bits: self.max_message_bits,
+        }
+    }
+}
+
+/// An immutable snapshot of a [`CostTracker`], subtractable to get deltas.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostReport {
+    /// Messages sent.
+    pub messages: u64,
+    /// Bits sent.
+    pub bits: u64,
+    /// Simulated time.
+    pub time: u64,
+    /// Broadcast-and-echo invocations.
+    pub broadcast_echoes: u64,
+    /// Largest message, in bits.
+    pub max_message_bits: u64,
+}
+
+impl Sub for CostReport {
+    type Output = CostReport;
+
+    fn sub(self, rhs: CostReport) -> CostReport {
+        CostReport {
+            messages: self.messages.saturating_sub(rhs.messages),
+            bits: self.bits.saturating_sub(rhs.bits),
+            time: self.time.saturating_sub(rhs.time),
+            broadcast_echoes: self.broadcast_echoes.saturating_sub(rhs.broadcast_echoes),
+            max_message_bits: self.max_message_bits.max(rhs.max_message_bits),
+        }
+    }
+}
+
+impl fmt::Display for CostReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} msgs, {} bits, time {}, {} broadcast-echoes (max msg {} bits)",
+            self.messages, self.bits, self.time, self.broadcast_echoes, self.max_message_bits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let mut c = CostTracker::new();
+        c.record_message(10);
+        c.record_message(3);
+        c.record_time(7);
+        c.record_broadcast_echo();
+        assert_eq!(c.messages, 2);
+        assert_eq!(c.bits, 13);
+        assert_eq!(c.time, 7);
+        assert_eq!(c.broadcast_echoes, 1);
+        assert_eq!(c.max_message_bits, 10);
+    }
+
+    #[test]
+    fn report_delta() {
+        let mut c = CostTracker::new();
+        c.record_message(5);
+        let before = c.report();
+        c.record_message(6);
+        c.record_message(1);
+        c.record_time(3);
+        let delta = c.report() - before;
+        assert_eq!(delta.messages, 2);
+        assert_eq!(delta.bits, 7);
+        assert_eq!(delta.time, 3);
+    }
+
+    #[test]
+    fn display_mentions_messages() {
+        let mut c = CostTracker::new();
+        c.record_message(4);
+        let s = format!("{}", c.report());
+        assert!(s.contains("1 msgs"));
+    }
+
+    #[test]
+    fn default_is_zero() {
+        let r = CostReport::default();
+        assert_eq!(r.messages, 0);
+        assert_eq!(r.bits, 0);
+    }
+}

@@ -1,0 +1,484 @@
+//! The event-driven simulation engine.
+//!
+//! One engine covers both timing models of the paper:
+//!
+//! * [`Scheduler::Synchronous`] delivers every message exactly one time unit
+//!   after it was sent. Because all initiators are started at time 0, the
+//!   global time is the round number — this is the synchronous CONGEST model
+//!   of the construction theorems.
+//! * [`Scheduler::RandomAsync`] delays each message independently and
+//!   uniformly in `[1, max_delay]`. Messages are eventually delivered and a
+//!   node acts only when a message arrives — the asynchronous model of the
+//!   repair theorems.
+//!
+//! Protocols are written once, as per-node state machines implementing
+//! [`Protocol`], and run unchanged under either scheduler. The engine charges
+//! every message to the network's [`crate::CostTracker`] using its semantic
+//! [`BitSized`] size and reports the makespan.
+//!
+//! # Lazy instantiation
+//!
+//! A run is seeded with an explicit set of *initiators* (the nodes that know
+//! to start — the root of a broadcast-and-echo, every node for a leader
+//! election). Program state and KT1 views are materialised only for nodes
+//! that are actually activated, so the cost of simulating an operation on a
+//! small fragment is proportional to the fragment (plus its incident edges),
+//! not to the whole network. This matters: `Build MST` runs thousands of
+//! broadcast-and-echoes on fragments of all sizes.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use kkt_graphs::NodeId;
+
+use crate::error::CongestError;
+use crate::message::BitSized;
+use crate::model::{Network, NodeView};
+
+/// Message-delivery timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scheduler {
+    /// Every message takes exactly one time unit: lock-step rounds.
+    Synchronous,
+    /// Every message independently takes a uniform delay in `[1, max_delay]`.
+    RandomAsync {
+        /// Maximum per-message delay (≥ 1).
+        max_delay: u64,
+    },
+}
+
+impl Scheduler {
+    fn delay<R: Rng>(&self, rng: &mut R) -> u64 {
+        match *self {
+            Scheduler::Synchronous => 1,
+            Scheduler::RandomAsync { max_delay } => rng.gen_range(1..=max_delay.max(1)),
+        }
+    }
+}
+
+/// Buffer of messages a node emits during one activation.
+#[derive(Debug)]
+pub struct Outbox<M> {
+    staged: Vec<(NodeId, M)>,
+}
+
+impl<M> Outbox<M> {
+    fn new() -> Self {
+        Outbox { staged: Vec::new() }
+    }
+
+    /// Queues a message to the neighbour `to`. The engine validates that `to`
+    /// really is adjacent to the sending node.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.staged.push((to, msg));
+    }
+
+    /// Number of messages staged so far in this activation.
+    pub fn staged_count(&self) -> usize {
+        self.staged.len()
+    }
+}
+
+/// A per-node state machine run by the engine.
+///
+/// One instance of the implementing type is created (lazily) per activated
+/// node; the engine calls [`Protocol::on_start`] once for every initiator at
+/// time 0, then [`Protocol::on_message`] for each delivered message. The run
+/// ends when no messages remain in flight.
+pub trait Protocol {
+    /// The message type exchanged by this protocol.
+    type Msg: Clone + BitSized;
+    /// The value the protocol computes (usually meaningful only at an
+    /// initiator or leader node).
+    type Output;
+
+    /// Called once when the simulation starts, for initiator nodes only.
+    fn on_start(&mut self, view: &NodeView, out: &mut Outbox<Self::Msg>);
+
+    /// Called when a message from neighbour `from` is delivered.
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        msg: Self::Msg,
+        view: &NodeView,
+        out: &mut Outbox<Self::Msg>,
+    );
+
+    /// The output this node can report after quiescence, if any.
+    fn output(&self) -> Option<Self::Output> {
+        None
+    }
+}
+
+/// Statistics of a single engine run (also folded into the network's
+/// cumulative cost tracker).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Messages delivered.
+    pub messages: u64,
+    /// Bits delivered.
+    pub bits: u64,
+    /// Time of the last delivery (rounds under the synchronous scheduler).
+    pub makespan: u64,
+    /// Delivered events (equals `messages`; kept separate for clarity when the
+    /// event limit trips).
+    pub events: u64,
+}
+
+struct Event<M> {
+    time: u64,
+    seq: u64,
+    from: NodeId,
+    to: NodeId,
+    msg: M,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering so the BinaryHeap pops the earliest event first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// The per-node program states touched by a run, keyed by node.
+pub type ProgramMap<P> = HashMap<NodeId, P>;
+
+/// The simulation engine. Stateless; all state lives in the [`Network`] and
+/// the protocol instances.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Engine;
+
+impl Engine {
+    /// Runs a protocol until quiescence.
+    ///
+    /// `initiators` are the nodes whose [`Protocol::on_start`] fires at time 0
+    /// (all other nodes are woken only by incoming messages); `make` builds
+    /// the per-node program state lazily on first activation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a protocol sends to a non-neighbour, a message
+    /// exceeds the configured bandwidth limit, an initiator index is out of
+    /// range, or the event safety cap trips.
+    pub fn run<P: Protocol>(
+        net: &mut Network,
+        initiators: &[NodeId],
+        mut make: impl FnMut(NodeId) -> P,
+    ) -> Result<(ProgramMap<P>, RunStats), CongestError> {
+        let n = net.node_count();
+        let config = net.config();
+        // Delivery delays come from a run-local RNG derived from the network
+        // RNG so runs are reproducible and do not fight the borrow checker for
+        // access to `net` mid-activation.
+        let mut delay_rng = StdRng::seed_from_u64(net.rng_mut().gen());
+        let mut programs: ProgramMap<P> = HashMap::new();
+        let mut queue: BinaryHeap<Event<P::Msg>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut stats = RunStats::default();
+
+        let mut activate = |net: &Network,
+                            programs: &mut ProgramMap<P>,
+                            queue: &mut BinaryHeap<Event<P::Msg>>,
+                            delay_rng: &mut StdRng,
+                            seq: &mut u64,
+                            node: NodeId,
+                            now: u64,
+                            incoming: Option<(NodeId, P::Msg)>|
+         -> Result<(), CongestError> {
+            let view = net.view(node);
+            let program = programs.entry(node).or_insert_with(|| make(node));
+            let mut out = Outbox::new();
+            match incoming {
+                None => program.on_start(&view, &mut out),
+                Some((from, msg)) => program.on_message(from, msg, &view, &mut out),
+            }
+            for (to, msg) in out.staged {
+                if view.edge_to(to).is_none() {
+                    return Err(CongestError::NotANeighbor { from: node, to });
+                }
+                let bits = msg.bit_size();
+                if let Some(limit) = config.bandwidth_limit {
+                    if bits > limit {
+                        return Err(CongestError::BandwidthExceeded { bits, limit });
+                    }
+                }
+                let delay = config.scheduler.delay(delay_rng);
+                *seq += 1;
+                queue.push(Event { time: now + delay, seq: *seq, from: node, to, msg });
+            }
+            Ok(())
+        };
+
+        for &x in initiators {
+            if x >= n {
+                return Err(CongestError::InvalidNode(x));
+            }
+            activate(net, &mut programs, &mut queue, &mut delay_rng, &mut seq, x, 0, None)?;
+        }
+
+        while let Some(ev) = queue.pop() {
+            stats.events += 1;
+            if stats.events > config.event_limit {
+                return Err(CongestError::EventLimitExceeded(config.event_limit));
+            }
+            stats.messages += 1;
+            let bits = ev.msg.bit_size() as u64;
+            stats.bits += bits;
+            stats.makespan = stats.makespan.max(ev.time);
+            net.cost_mut().record_message(bits);
+            activate(
+                net,
+                &mut programs,
+                &mut queue,
+                &mut delay_rng,
+                &mut seq,
+                ev.to,
+                ev.time,
+                Some((ev.from, ev.msg)),
+            )?;
+        }
+
+        net.cost_mut().record_time(stats.makespan);
+        Ok((programs, stats))
+    }
+
+    /// Convenience wrapper for protocols in which *every* node is an
+    /// initiator (leader election, flooding from all sources, gossiping).
+    pub fn run_all<P: Protocol>(
+        net: &mut Network,
+        make: impl FnMut(NodeId) -> P,
+    ) -> Result<(ProgramMap<P>, RunStats), CongestError> {
+        let everyone: Vec<NodeId> = (0..net.node_count()).collect();
+        Self::run(net, &everyone, make)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::NetworkConfig;
+    use kkt_graphs::{generators, Graph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Every node sends a token to each neighbour at start; tokens are counted
+    /// on arrival and not forwarded. Exercises start-up, delivery and
+    /// accounting: exactly 2m messages, makespan 1 under the synchronous
+    /// scheduler.
+    #[derive(Debug, Clone)]
+    struct CountTokens {
+        received: u64,
+    }
+
+    impl Protocol for CountTokens {
+        type Msg = u8;
+        type Output = u64;
+
+        fn on_start(&mut self, view: &NodeView, out: &mut Outbox<u8>) {
+            for e in &view.incident {
+                out.send(e.neighbor, 1);
+            }
+        }
+
+        fn on_message(&mut self, _from: NodeId, msg: u8, _view: &NodeView, _out: &mut Outbox<u8>) {
+            self.received += msg as u64;
+        }
+
+        fn output(&self) -> Option<u64> {
+            Some(self.received)
+        }
+    }
+
+    /// A token relayed a fixed number of hops, to test that replies are
+    /// possible and the makespan grows with the number of hops.
+    #[derive(Debug)]
+    struct Relay {
+        hops_left: u64,
+    }
+
+    impl Protocol for Relay {
+        type Msg = u64;
+        type Output = u64;
+
+        fn on_start(&mut self, view: &NodeView, out: &mut Outbox<u64>) {
+            if view.node == 0 && self.hops_left > 0 {
+                if let Some(e) = view.incident.first() {
+                    out.send(e.neighbor, self.hops_left - 1);
+                }
+            }
+        }
+
+        fn on_message(&mut self, from: NodeId, msg: u64, view: &NodeView, out: &mut Outbox<u64>) {
+            self.hops_left = msg;
+            if msg > 0 {
+                let next = view
+                    .incident
+                    .iter()
+                    .map(|e| e.neighbor)
+                    .find(|&x| x != from)
+                    .unwrap_or(from);
+                out.send(next, msg - 1);
+            }
+        }
+    }
+
+    fn net(n: usize, p: f64, seed: u64) -> Network {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Network::new(generators::connected_gnp(n, p, 10, &mut rng), NetworkConfig::default())
+    }
+
+    #[test]
+    fn token_count_equals_twice_edges() {
+        let mut network = net(30, 0.2, 1);
+        let m = network.edge_count() as u64;
+        let (programs, stats) =
+            Engine::run_all(&mut network, |_| CountTokens { received: 0 }).unwrap();
+        assert_eq!(stats.messages, 2 * m);
+        assert_eq!(stats.makespan, 1, "all tokens arrive in round 1");
+        let total: u64 = programs.values().map(|p| p.output().unwrap()).sum();
+        assert_eq!(total, 2 * m);
+        assert_eq!(network.cost().messages, 2 * m);
+        assert_eq!(network.cost().time, 1);
+    }
+
+    #[test]
+    fn relay_makespan_counts_hops_synchronously() {
+        // A path of 6 nodes, token relayed 5 hops.
+        let mut g = Graph::new(6);
+        for i in 0..5 {
+            g.add_edge(i, i + 1, 1);
+        }
+        let mut network = Network::new(g, NetworkConfig::synchronous(3));
+        let (programs, stats) =
+            Engine::run(&mut network, &[0], |_| Relay { hops_left: 5 }).unwrap();
+        assert_eq!(stats.messages, 5);
+        assert_eq!(stats.makespan, 5);
+        // Only the nodes along the relay path were ever materialised.
+        assert!(programs.len() <= 6);
+    }
+
+    #[test]
+    fn only_touched_nodes_are_materialised() {
+        let mut network = net(100, 0.05, 9);
+        let (programs, _) = Engine::run(&mut network, &[0], |_| Relay { hops_left: 3 }).unwrap();
+        assert!(programs.len() <= 5, "a 3-hop relay touches at most 4 nodes, got {}", programs.len());
+    }
+
+    #[test]
+    fn async_scheduler_still_delivers_everything() {
+        let mut network = net(25, 0.15, 7);
+        network.set_config(NetworkConfig::asynchronous(9, 10));
+        let m = network.edge_count() as u64;
+        let (_, stats) = Engine::run_all(&mut network, |_| CountTokens { received: 0 }).unwrap();
+        assert_eq!(stats.messages, 2 * m);
+        assert!(stats.makespan >= 1 && stats.makespan <= 10);
+    }
+
+    #[test]
+    fn async_runs_are_reproducible_per_seed() {
+        let run = |seed: u64| {
+            let mut network = net(20, 0.2, 5);
+            network.set_config(NetworkConfig::asynchronous(seed, 8));
+            let (_, stats) = Engine::run_all(&mut network, |_| CountTokens { received: 0 }).unwrap();
+            stats
+        };
+        assert_eq!(run(11), run(11));
+    }
+
+    #[test]
+    fn sending_to_non_neighbor_errors() {
+        #[derive(Debug)]
+        struct Bad;
+        impl Protocol for Bad {
+            type Msg = u8;
+            type Output = ();
+            fn on_start(&mut self, view: &NodeView, out: &mut Outbox<u8>) {
+                let non_neighbor =
+                    (0..view.n).find(|&x| x != view.node && view.edge_to(x).is_none());
+                if let Some(x) = non_neighbor {
+                    out.send(x, 1);
+                }
+            }
+            fn on_message(&mut self, _: NodeId, _: u8, _: &NodeView, _: &mut Outbox<u8>) {}
+        }
+        // A path graph guarantees node 0 has a non-neighbour.
+        let mut g = Graph::new(4);
+        for i in 0..3 {
+            g.add_edge(i, i + 1, 1);
+        }
+        let mut network = Network::new(g, NetworkConfig::default());
+        let err = Engine::run(&mut network, &[0], |_| Bad).unwrap_err();
+        assert!(matches!(err, CongestError::NotANeighbor { .. }));
+    }
+
+    #[test]
+    fn bandwidth_limit_is_enforced() {
+        #[derive(Debug)]
+        struct Wide;
+        impl Protocol for Wide {
+            type Msg = u64;
+            type Output = ();
+            fn on_start(&mut self, view: &NodeView, out: &mut Outbox<u64>) {
+                if let Some(e) = view.incident.first() {
+                    out.send(e.neighbor, u64::MAX);
+                }
+            }
+            fn on_message(&mut self, _: NodeId, _: u64, _: &NodeView, _: &mut Outbox<u64>) {}
+        }
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1, 1);
+        let mut network = Network::new(
+            g,
+            NetworkConfig { bandwidth_limit: Some(16), ..NetworkConfig::default() },
+        );
+        let err = Engine::run(&mut network, &[0], |_| Wide).unwrap_err();
+        assert!(matches!(err, CongestError::BandwidthExceeded { bits: 64, limit: 16 }));
+    }
+
+    #[test]
+    fn event_limit_catches_livelock() {
+        // Two nodes bouncing a token forever.
+        #[derive(Debug)]
+        struct Forever;
+        impl Protocol for Forever {
+            type Msg = u8;
+            type Output = ();
+            fn on_start(&mut self, view: &NodeView, out: &mut Outbox<u8>) {
+                if view.node == 0 {
+                    out.send(view.incident[0].neighbor, 1);
+                }
+            }
+            fn on_message(&mut self, from: NodeId, msg: u8, _: &NodeView, out: &mut Outbox<u8>) {
+                out.send(from, msg);
+            }
+        }
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1, 1);
+        let mut network =
+            Network::new(g, NetworkConfig { event_limit: 100, ..NetworkConfig::default() });
+        let err = Engine::run(&mut network, &[0], |_| Forever).unwrap_err();
+        assert!(matches!(err, CongestError::EventLimitExceeded(100)));
+    }
+
+    #[test]
+    fn out_of_range_initiator_is_rejected() {
+        let mut network = net(5, 0.5, 2);
+        let err = Engine::run(&mut network, &[77], |_| CountTokens { received: 0 }).unwrap_err();
+        assert!(matches!(err, CongestError::InvalidNode(77)));
+    }
+}

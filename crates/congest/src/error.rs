@@ -1,0 +1,82 @@
+//! Error type of the simulator crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the CONGEST simulator and the primitives built on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CongestError {
+    /// A protocol tried to send to a node that is not an adjacent neighbour.
+    NotANeighbor {
+        /// The sender.
+        from: usize,
+        /// The intended recipient.
+        to: usize,
+    },
+    /// A message exceeded the configured CONGEST bandwidth limit.
+    BandwidthExceeded {
+        /// Size of the offending message in bits.
+        bits: usize,
+        /// The configured cap in bits.
+        limit: usize,
+    },
+    /// A primitive was asked to run on a node outside the marked forest it
+    /// needs (for example, electing a leader of an unmarked singleton is fine,
+    /// but rooting a broadcast at a node index out of range is not).
+    InvalidNode(usize),
+    /// The engine hit its safety cap on delivered events, which indicates a
+    /// protocol that never quiesces.
+    EventLimitExceeded(u64),
+    /// The marked edge set is not "properly marked" (some edge is marked at
+    /// only one endpoint) or does not form a forest.
+    ImproperMarking(String),
+    /// A primitive finished without producing the output it promised.
+    MissingOutput(&'static str),
+}
+
+impl fmt::Display for CongestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CongestError::NotANeighbor { from, to } => {
+                write!(f, "node {from} attempted to send to non-neighbour {to}")
+            }
+            CongestError::BandwidthExceeded { bits, limit } => {
+                write!(f, "message of {bits} bits exceeds the CONGEST limit of {limit} bits")
+            }
+            CongestError::InvalidNode(x) => write!(f, "node index {x} is out of range"),
+            CongestError::EventLimitExceeded(n) => {
+                write!(f, "engine delivered more than {n} events without quiescing")
+            }
+            CongestError::ImproperMarking(why) => write!(f, "improperly marked forest: {why}"),
+            CongestError::MissingOutput(what) => {
+                write!(f, "protocol finished without producing {what}")
+            }
+        }
+    }
+}
+
+impl Error for CongestError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = CongestError::NotANeighbor { from: 1, to: 9 };
+        assert!(format!("{e}").contains("non-neighbour 9"));
+        let e = CongestError::BandwidthExceeded { bits: 100, limit: 64 };
+        assert!(format!("{e}").contains("100 bits"));
+        let e = CongestError::MissingOutput("leader");
+        assert!(format!("{e}").contains("leader"));
+        assert!(format!("{}", CongestError::InvalidNode(3)).contains('3'));
+        assert!(format!("{}", CongestError::EventLimitExceeded(5)).contains('5'));
+        assert!(format!("{}", CongestError::ImproperMarking("x".into())).contains('x'));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_error<E: Error>(_e: E) {}
+        takes_error(CongestError::InvalidNode(0));
+    }
+}

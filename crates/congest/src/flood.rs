@@ -1,0 +1,197 @@
+//! Flooding: the Θ(m)-message broadcast-tree construction.
+//!
+//! The "folk theorem" the paper contradicts says that building a broadcast
+//! (spanning) tree needs Ω(m) messages; flooding is the classic matching upper
+//! bound. The initiator sends a token to all neighbours; every node adopts the
+//! first sender as its parent, acknowledges it (so both endpoints mark the
+//! edge, keeping the network properly marked), and forwards the token to all
+//! its other neighbours. Every edge carries between one and two tokens plus at
+//! most one acknowledgement, so the cost is between `m` and `2m + n` messages.
+//!
+//! This is both a baseline (compare `Build ST`'s `O(n log n)` against it) and
+//! a primitive the repair baselines reuse.
+
+use kkt_graphs::{EdgeId, NodeId};
+
+use crate::engine::{Engine, Outbox, Protocol};
+use crate::error::CongestError;
+use crate::model::{Network, NodeView};
+
+/// Wire format of flooding: a token or a parent acknowledgement. Both are a
+/// single bit on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FloodMsg {
+    /// "Join my tree."
+    Token,
+    /// "You are my parent."
+    Ack,
+}
+
+impl crate::message::BitSized for FloodMsg {
+    fn bit_size(&self) -> usize {
+        1
+    }
+}
+
+/// Per-node flooding program.
+#[derive(Debug, Clone)]
+struct Flood {
+    is_root: bool,
+    parent: Option<NodeId>,
+    joined: bool,
+    children: Vec<NodeId>,
+}
+
+impl Flood {
+    fn new(is_root: bool) -> Self {
+        Flood { is_root, parent: None, joined: false, children: Vec::new() }
+    }
+}
+
+impl Protocol for Flood {
+    type Msg = FloodMsg;
+    type Output = ();
+
+    fn on_start(&mut self, view: &NodeView, out: &mut Outbox<FloodMsg>) {
+        if self.is_root {
+            self.joined = true;
+            for e in &view.incident {
+                out.send(e.neighbor, FloodMsg::Token);
+            }
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: FloodMsg, view: &NodeView, out: &mut Outbox<FloodMsg>) {
+        match msg {
+            FloodMsg::Token => {
+                if !self.joined {
+                    self.joined = true;
+                    self.parent = Some(from);
+                    out.send(from, FloodMsg::Ack);
+                    for e in &view.incident {
+                        if e.neighbor != from {
+                            out.send(e.neighbor, FloodMsg::Token);
+                        }
+                    }
+                }
+            }
+            FloodMsg::Ack => self.children.push(from),
+        }
+    }
+}
+
+/// Result of one flooding run.
+#[derive(Debug, Clone)]
+pub struct FloodOutcome {
+    /// The constructed tree edges (parent links), one per reached non-root node.
+    pub tree_edges: Vec<EdgeId>,
+    /// Nodes reached by the flood (including the root).
+    pub reached: Vec<NodeId>,
+    /// Messages spent.
+    pub messages: u64,
+    /// Completion time.
+    pub makespan: u64,
+}
+
+/// Floods from `root` over the *whole graph* (marked or not) and returns the
+/// constructed broadcast tree. Does not modify the marked forest; callers that
+/// want to adopt the tree call [`Network::mark_all`] on the result.
+pub fn flood_spanning_tree(net: &mut Network, root: NodeId) -> Result<FloodOutcome, CongestError> {
+    if root >= net.node_count() {
+        return Err(CongestError::InvalidNode(root));
+    }
+    let (programs, stats) = Engine::run(net, &[root], |node| Flood::new(node == root))?;
+    let mut tree_edges = Vec::new();
+    let mut reached = Vec::new();
+    for x in 0..net.node_count() {
+        let Some(p) = programs.get(&x) else { continue };
+        if p.joined {
+            reached.push(x);
+        }
+        if let Some(parent) = p.parent {
+            let edge = net.view(x).edge_to(parent).expect("parent is a neighbour").edge;
+            tree_edges.push(edge);
+        }
+    }
+    Ok(FloodOutcome { tree_edges, reached, messages: stats.messages, makespan: stats.makespan })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::NetworkConfig;
+    use kkt_graphs::{generators, Graph, SpanningForest};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net(n: usize, p: f64, seed: u64) -> Network {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Network::new(generators::connected_gnp(n, p, 10, &mut rng), NetworkConfig::default())
+    }
+
+    #[test]
+    fn flood_builds_a_spanning_tree() {
+        let mut network = net(50, 0.1, 1);
+        let outcome = flood_spanning_tree(&mut network, 0).unwrap();
+        assert_eq!(outcome.reached.len(), 50);
+        assert_eq!(outcome.tree_edges.len(), 49);
+        let forest = SpanningForest::from_edges(outcome.tree_edges.clone());
+        kkt_graphs::verify_spanning_forest(network.graph(), &forest).unwrap();
+    }
+
+    #[test]
+    fn flood_message_count_is_theta_m() {
+        let mut network = net(60, 0.3, 2);
+        let m = network.edge_count() as u64;
+        let n = network.node_count() as u64;
+        let outcome = flood_spanning_tree(&mut network, 5).unwrap();
+        assert!(outcome.messages >= m, "every edge carries at least one token");
+        assert!(outcome.messages <= 2 * m + n);
+    }
+
+    #[test]
+    fn flood_reaches_only_its_component() {
+        let mut g = Graph::new(6);
+        g.add_edge(0, 1, 1);
+        g.add_edge(1, 2, 1);
+        g.add_edge(3, 4, 1);
+        g.add_edge(4, 5, 1);
+        let mut network = Network::new(g, NetworkConfig::default());
+        let outcome = flood_spanning_tree(&mut network, 0).unwrap();
+        assert_eq!(outcome.reached, vec![0, 1, 2]);
+        assert_eq!(outcome.tree_edges.len(), 2);
+    }
+
+    #[test]
+    fn flood_makespan_is_graph_eccentricity_when_synchronous() {
+        // On a path, flooding from one end takes n-1 rounds of tokens (plus the
+        // final ack arrives one round later at most, but acks travel in
+        // parallel, so the makespan is n-1 or n).
+        let mut g = Graph::new(10);
+        for i in 0..9 {
+            g.add_edge(i, i + 1, 1);
+        }
+        let mut network = Network::new(g, NetworkConfig::default());
+        let outcome = flood_spanning_tree(&mut network, 0).unwrap();
+        assert!(outcome.makespan == 9 || outcome.makespan == 10);
+    }
+
+    #[test]
+    fn flood_under_async_still_spans() {
+        let mut network = net(40, 0.15, 3);
+        network.set_config(NetworkConfig::asynchronous(7, 12));
+        let outcome = flood_spanning_tree(&mut network, 8).unwrap();
+        assert_eq!(outcome.reached.len(), 40);
+        let forest = SpanningForest::from_edges(outcome.tree_edges.clone());
+        kkt_graphs::verify_spanning_forest(network.graph(), &forest).unwrap();
+    }
+
+    #[test]
+    fn invalid_root_rejected() {
+        let mut network = net(5, 0.5, 4);
+        assert!(matches!(
+            flood_spanning_tree(&mut network, 50),
+            Err(CongestError::InvalidNode(50))
+        ));
+    }
+}

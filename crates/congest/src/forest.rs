@@ -1,0 +1,253 @@
+//! The properly-marked forest maintained by the network.
+//!
+//! The paper's repair model: "a network is properly marked if every edge is
+//! marked by both or neither of its endpoints; a tree `T` is maintained by a
+//! network if the network is properly marked and `T` is a maximal tree in the
+//! subgraph of marked edges." Between updates this marking is the *only*
+//! extra state a node holds (that is what makes the repairs impromptu).
+
+use std::collections::BTreeSet;
+
+use kkt_graphs::{EdgeId, Graph, NodeId};
+
+use crate::error::CongestError;
+
+/// The set of marked (tree) edges, with helpers to navigate the induced
+/// forest. Both endpoints of a marked edge see the mark — the structure is
+/// symmetric by construction, so the network is always properly marked.
+#[derive(Debug, Clone, Default)]
+pub struct MarkedForest {
+    marked: BTreeSet<EdgeId>,
+}
+
+impl MarkedForest {
+    /// An empty marking (every node is a singleton fragment).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks an edge. Returns `true` if it was not previously marked.
+    pub fn mark(&mut self, e: EdgeId) -> bool {
+        self.marked.insert(e)
+    }
+
+    /// Unmarks an edge. Returns `true` if it was previously marked.
+    pub fn unmark(&mut self, e: EdgeId) -> bool {
+        self.marked.remove(&e)
+    }
+
+    /// Whether the edge is marked.
+    pub fn is_marked(&self, e: EdgeId) -> bool {
+        self.marked.contains(&e)
+    }
+
+    /// Number of marked edges.
+    pub fn len(&self) -> usize {
+        self.marked.len()
+    }
+
+    /// True if no edges are marked.
+    pub fn is_empty(&self) -> bool {
+        self.marked.is_empty()
+    }
+
+    /// Iterator over the marked edges.
+    pub fn iter(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.marked.iter().copied()
+    }
+
+    /// The marked edges as a sorted vector (a snapshot).
+    pub fn edges(&self) -> Vec<EdgeId> {
+        self.marked.iter().copied().collect()
+    }
+
+    /// Removes marks on edges that are no longer live in `g` (used after an
+    /// edge deletion) and returns the edges that were dropped.
+    pub fn prune_dead(&mut self, g: &Graph) -> Vec<EdgeId> {
+        let dead: Vec<EdgeId> = self.marked.iter().copied().filter(|&e| !g.is_live(e)).collect();
+        for &e in &dead {
+            self.marked.remove(&e);
+        }
+        dead
+    }
+
+    /// Marked edges incident to `x`.
+    pub fn tree_edges_of(&self, g: &Graph, x: NodeId) -> Vec<EdgeId> {
+        g.incident(x).filter(|&e| self.is_marked(e)).collect()
+    }
+
+    /// Tree neighbours of `x`.
+    pub fn tree_neighbors(&self, g: &Graph, x: NodeId) -> Vec<NodeId> {
+        self.tree_edges_of(g, x).into_iter().map(|e| g.edge(e).other(x)).collect()
+    }
+
+    /// The nodes of the marked tree containing `x` (BFS over marked edges).
+    pub fn tree_of(&self, g: &Graph, x: NodeId) -> Vec<NodeId> {
+        let mut seen = vec![false; g.node_count()];
+        let mut order = Vec::new();
+        let mut queue = std::collections::VecDeque::new();
+        seen[x] = true;
+        queue.push_back(x);
+        while let Some(y) = queue.pop_front() {
+            order.push(y);
+            for e in g.incident(y) {
+                if self.is_marked(e) {
+                    let z = g.edge(e).other(y);
+                    if !seen[z] {
+                        seen[z] = true;
+                        queue.push_back(z);
+                    }
+                }
+            }
+        }
+        order
+    }
+
+    /// Membership vector of the marked tree containing `x` (`side[y]` is true
+    /// iff `y ∈ T_x`) — the paper's `T_x`.
+    pub fn tree_membership(&self, g: &Graph, x: NodeId) -> Vec<bool> {
+        let mut side = vec![false; g.node_count()];
+        for y in self.tree_of(g, x) {
+            side[y] = true;
+        }
+        side
+    }
+
+    /// One representative node per marked tree (fragment), in ascending order.
+    pub fn fragment_representatives(&self, g: &Graph) -> Vec<NodeId> {
+        let mut seen = vec![false; g.node_count()];
+        let mut reps = Vec::new();
+        for x in g.nodes() {
+            if !seen[x] {
+                reps.push(x);
+                for y in self.tree_of(g, x) {
+                    seen[y] = true;
+                }
+            }
+        }
+        reps
+    }
+
+    /// Validates that the marked edges form a forest of live edges.
+    pub fn validate(&self, g: &Graph) -> Result<(), CongestError> {
+        let mut uf = kkt_graphs::UnionFind::new(g.node_count());
+        for &e in &self.marked {
+            if !g.is_live(e) {
+                return Err(CongestError::ImproperMarking(format!(
+                    "marked edge {e} is not live"
+                )));
+            }
+            let edge = g.edge(e);
+            if !uf.union(edge.u, edge.v) {
+                return Err(CongestError::ImproperMarking(format!(
+                    "marked edge {e} closes a cycle"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kkt_graphs::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small() -> (Graph, Vec<EdgeId>) {
+        let mut g = Graph::new(5);
+        let e01 = g.add_edge(0, 1, 1).unwrap();
+        let e12 = g.add_edge(1, 2, 2).unwrap();
+        let e34 = g.add_edge(3, 4, 3).unwrap();
+        g.add_edge(0, 2, 9).unwrap();
+        (g, vec![e01, e12, e34])
+    }
+
+    #[test]
+    fn mark_unmark_roundtrip() {
+        let (_, edges) = small();
+        let mut f = MarkedForest::new();
+        assert!(f.is_empty());
+        assert!(f.mark(edges[0]));
+        assert!(!f.mark(edges[0]), "double-mark is a no-op");
+        assert!(f.is_marked(edges[0]));
+        assert_eq!(f.len(), 1);
+        assert!(f.unmark(edges[0]));
+        assert!(!f.unmark(edges[0]));
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn tree_of_follows_marked_edges_only() {
+        let (g, edges) = small();
+        let mut f = MarkedForest::new();
+        for e in &edges {
+            f.mark(*e);
+        }
+        let t0: Vec<_> = f.tree_of(&g, 0);
+        assert_eq!(t0.len(), 3);
+        assert!(t0.contains(&2));
+        assert!(!t0.contains(&3));
+        let t3 = f.tree_of(&g, 3);
+        assert_eq!(t3.len(), 2);
+        let membership = f.tree_membership(&g, 0);
+        assert_eq!(membership, vec![true, true, true, false, false]);
+    }
+
+    #[test]
+    fn tree_neighbors_and_edges() {
+        let (g, edges) = small();
+        let mut f = MarkedForest::new();
+        f.mark(edges[0]);
+        f.mark(edges[1]);
+        assert_eq!(f.tree_neighbors(&g, 1), vec![0, 2]);
+        assert_eq!(f.tree_edges_of(&g, 1).len(), 2);
+        assert_eq!(f.tree_neighbors(&g, 4), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn fragment_representatives_cover_all_nodes() {
+        let (g, edges) = small();
+        let mut f = MarkedForest::new();
+        for e in &edges {
+            f.mark(*e);
+        }
+        let reps = f.fragment_representatives(&g);
+        assert_eq!(reps, vec![0, 3]);
+        let empty = MarkedForest::new();
+        assert_eq!(empty.fragment_representatives(&g).len(), 5);
+    }
+
+    #[test]
+    fn validate_rejects_cycles_and_dead_edges() {
+        let (mut g, edges) = small();
+        let mut f = MarkedForest::new();
+        for e in &edges {
+            f.mark(*e);
+        }
+        f.mark(g.edge_between(0, 2).unwrap());
+        assert!(f.validate(&g).is_err(), "0-1-2-0 cycle must be rejected");
+        f.unmark(g.edge_between(0, 2).unwrap());
+        assert!(f.validate(&g).is_ok());
+        g.remove_edge(3, 4);
+        assert!(f.validate(&g).is_err(), "marked dead edge must be rejected");
+        let dropped = f.prune_dead(&g);
+        assert_eq!(dropped.len(), 1);
+        assert!(f.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn marking_a_full_mst_gives_one_fragment() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = generators::connected_gnp(40, 0.15, 100, &mut rng);
+        let mst = kkt_graphs::kruskal(&g);
+        let mut f = MarkedForest::new();
+        for &e in &mst.edges {
+            f.mark(e);
+        }
+        f.validate(&g).unwrap();
+        assert_eq!(f.fragment_representatives(&g).len(), 1);
+        assert_eq!(f.tree_of(&g, 17).len(), 40);
+    }
+}

@@ -1,0 +1,121 @@
+//! Message sizing.
+//!
+//! The CONGEST model charges every message `O(log(n + u))` bits. The
+//! [`BitSized`] trait lets each protocol message type report how many bits it
+//! would occupy on the wire; the engine sums these into the cost tracker and
+//! (optionally) enforces the bandwidth cap.
+//!
+//! Sizing is deliberately *semantic*, not `size_of`-based: a boolean echo is
+//! one bit regardless of how Rust lays the enum out, because that is what the
+//! paper's Lemma 1 ("the echo of TestOut requires a message of only one bit")
+//! charges.
+
+/// Number of bits needed to write the value `v` (at least 1).
+pub fn bits_for_value(v: u64) -> usize {
+    (64 - v.leading_zeros()).max(1) as usize
+}
+
+/// Semantic wire size of a message, in bits.
+pub trait BitSized {
+    /// Number of bits this value occupies on the wire.
+    fn bit_size(&self) -> usize;
+}
+
+impl BitSized for () {
+    fn bit_size(&self) -> usize {
+        1
+    }
+}
+
+impl BitSized for bool {
+    fn bit_size(&self) -> usize {
+        1
+    }
+}
+
+macro_rules! impl_bitsized_uint {
+    ($($t:ty),*) => {
+        $(impl BitSized for $t {
+            fn bit_size(&self) -> usize {
+                bits_for_value(*self as u64)
+            }
+        })*
+    };
+}
+
+impl_bitsized_uint!(u8, u16, u32, u64, usize);
+
+impl BitSized for u128 {
+    fn bit_size(&self) -> usize {
+        if *self <= u64::MAX as u128 {
+            bits_for_value(*self as u64)
+        } else {
+            64 + bits_for_value((*self >> 64) as u64)
+        }
+    }
+}
+
+impl<T: BitSized> BitSized for Option<T> {
+    fn bit_size(&self) -> usize {
+        1 + self.as_ref().map_or(0, BitSized::bit_size)
+    }
+}
+
+impl<A: BitSized, B: BitSized> BitSized for (A, B) {
+    fn bit_size(&self) -> usize {
+        self.0.bit_size() + self.1.bit_size()
+    }
+}
+
+impl<A: BitSized, B: BitSized, C: BitSized> BitSized for (A, B, C) {
+    fn bit_size(&self) -> usize {
+        self.0.bit_size() + self.1.bit_size() + self.2.bit_size()
+    }
+}
+
+impl<T: BitSized> BitSized for Vec<T> {
+    fn bit_size(&self) -> usize {
+        self.iter().map(BitSized::bit_size).sum::<usize>().max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_for_small_values() {
+        assert_eq!(bits_for_value(0), 1);
+        assert_eq!(bits_for_value(1), 1);
+        assert_eq!(bits_for_value(2), 2);
+        assert_eq!(bits_for_value(255), 8);
+        assert_eq!(bits_for_value(256), 9);
+        assert_eq!(bits_for_value(u64::MAX), 64);
+    }
+
+    #[test]
+    fn unit_and_bool_are_one_bit() {
+        assert_eq!(().bit_size(), 1);
+        assert_eq!(true.bit_size(), 1);
+        assert_eq!(false.bit_size(), 1);
+    }
+
+    #[test]
+    fn integers_use_value_width() {
+        assert_eq!(5u32.bit_size(), 3);
+        assert_eq!(1024u64.bit_size(), 11);
+        assert_eq!(0usize.bit_size(), 1);
+        assert_eq!((u128::MAX).bit_size(), 128);
+        assert_eq!((1u128 << 70).bit_size(), 71);
+    }
+
+    #[test]
+    fn compound_sizes_add_up() {
+        assert_eq!(Some(7u64).bit_size(), 1 + 3);
+        assert_eq!(None::<u64>.bit_size(), 1);
+        assert_eq!((3u8, true).bit_size(), 2 + 1);
+        assert_eq!((1u8, 1u8, 1u8).bit_size(), 3);
+        assert_eq!(vec![1u8, 255u8].bit_size(), 1 + 8);
+        assert_eq!(Vec::<u8>::new().bit_size(), 1);
+    }
+}

@@ -1,0 +1,406 @@
+//! The simulated network and the KT1 local views node programs see.
+//!
+//! A [`Network`] owns the ground-truth [`Graph`], the maintained
+//! [`MarkedForest`], the global [`CostTracker`], and the simulation
+//! configuration. Node programs never touch the `Network` directly — the
+//! engine hands them a [`NodeView`], which contains exactly the KT1 knowledge
+//! the paper grants a node: its own ID, `n`, and for each incident edge the
+//! neighbour's ID, the weight, and whether the edge is currently marked.
+//!
+//! Dense node indices and [`EdgeId`]s appear inside views as *handles* (the
+//! moral equivalent of port numbers); all algorithmic decisions in the
+//! protocol crates are made from IDs, weights and edge numbers, never from
+//! the handles' numeric values.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use kkt_graphs::{EdgeId, EdgeNumber, Graph, NodeId, UniqueWeight, Weight};
+
+use crate::cost::{CostReport, CostTracker};
+use crate::engine::Scheduler;
+use crate::forest::MarkedForest;
+use crate::message::bits_for_value;
+
+/// Simulation configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Message delivery model.
+    pub scheduler: Scheduler,
+    /// Optional hard cap on message size in bits; `None` records sizes without
+    /// enforcing.
+    pub bandwidth_limit: Option<usize>,
+    /// Seed for all simulation-side randomness (delivery delays) and for the
+    /// protocols' coin flips when they draw from the network RNG.
+    pub seed: u64,
+    /// Safety cap on delivered events per engine run.
+    pub event_limit: u64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            scheduler: Scheduler::Synchronous,
+            bandwidth_limit: None,
+            seed: 0xC0FFEE,
+            event_limit: 50_000_000,
+        }
+    }
+}
+
+impl NetworkConfig {
+    /// A configuration using the asynchronous scheduler with the given
+    /// maximum per-message delay.
+    pub fn asynchronous(seed: u64, max_delay: u64) -> Self {
+        NetworkConfig {
+            scheduler: Scheduler::RandomAsync { max_delay: max_delay.max(1) },
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// A synchronous configuration with an explicit seed.
+    pub fn synchronous(seed: u64) -> Self {
+        NetworkConfig { seed, ..Self::default() }
+    }
+}
+
+/// One incident edge as seen from a node (KT1 knowledge plus simulation
+/// handles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IncidentEdge {
+    /// Simulation handle of the edge.
+    pub edge: EdgeId,
+    /// Simulation handle (address) of the neighbour.
+    pub neighbor: NodeId,
+    /// Distributed identifier of the neighbour (the KT1 datum).
+    pub neighbor_id: u64,
+    /// Raw edge weight.
+    pub weight: Weight,
+    /// Globally distinct weight (raw weight ⧺ edge number).
+    pub unique_weight: UniqueWeight,
+    /// The edge number (concatenation of endpoint IDs, smaller first).
+    pub edge_number: EdgeNumber,
+    /// Whether this edge is currently marked as a tree edge.
+    pub marked: bool,
+}
+
+/// The complete local knowledge of one node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeView {
+    /// Simulation handle of this node.
+    pub node: NodeId,
+    /// Distributed identifier of this node.
+    pub id: u64,
+    /// The known bound on the network size.
+    pub n: usize,
+    /// Number of bits of the identifier space (the `c·log n` of the KT1
+    /// model, shared knowledge). Edge numbers fit in `2·id_bits` bits.
+    pub id_bits: u32,
+    /// All live incident edges.
+    pub incident: Vec<IncidentEdge>,
+}
+
+impl NodeView {
+    /// Incident edges that are currently marked (tree edges).
+    pub fn tree_edges(&self) -> impl Iterator<Item = &IncidentEdge> {
+        self.incident.iter().filter(|e| e.marked)
+    }
+
+    /// Neighbour handles across marked edges.
+    pub fn tree_neighbors(&self) -> Vec<NodeId> {
+        self.tree_edges().map(|e| e.neighbor).collect()
+    }
+
+    /// Degree in the marked forest.
+    pub fn tree_degree(&self) -> usize {
+        self.tree_edges().count()
+    }
+
+    /// Degree in the whole graph.
+    pub fn degree(&self) -> usize {
+        self.incident.len()
+    }
+
+    /// The incident edge leading to `neighbor`, if any.
+    pub fn edge_to(&self, neighbor: NodeId) -> Option<&IncidentEdge> {
+        self.incident.iter().find(|e| e.neighbor == neighbor)
+    }
+
+    /// 64-bit hash keys of all incident edge numbers (the `E(v)` of §2.1).
+    pub fn incident_keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.incident.iter().map(|e| e.edge_number.as_u64_key())
+    }
+
+    /// True if this node is a leaf of its marked tree (exactly one tree edge).
+    pub fn is_tree_leaf(&self) -> bool {
+        self.tree_degree() == 1
+    }
+}
+
+/// The simulated CONGEST network.
+#[derive(Debug)]
+pub struct Network {
+    graph: Graph,
+    forest: MarkedForest,
+    cost: CostTracker,
+    config: NetworkConfig,
+    rng: StdRng,
+    id_bits: u32,
+}
+
+impl Network {
+    /// Wraps a graph in a network with no marked edges.
+    pub fn new(graph: Graph, config: NetworkConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        let max_id = graph.nodes().map(|x| graph.id_of(x)).max().unwrap_or(1);
+        let id_bits = (bits_for_value(max_id) as u32).min(32);
+        Network { graph, forest: MarkedForest::new(), cost: CostTracker::new(), config, rng, id_bits }
+    }
+
+    /// Number of bits of the identifier space (capped at 32 so an edge number
+    /// fits in 64 bits; larger ID spaces are first compressed with Karp–Rabin
+    /// fingerprinting as the paper prescribes).
+    pub fn id_bits(&self) -> u32 {
+        self.id_bits
+    }
+
+    /// The ground-truth graph (simulation/oracle side).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The maintained forest.
+    pub fn forest(&self) -> &MarkedForest {
+        &self.forest
+    }
+
+    /// Mutable access to the maintained forest (marking/unmarking edges is a
+    /// *local* state change at the two endpoints and is therefore free in the
+    /// CONGEST cost model; any communication needed to agree on it is charged
+    /// by the protocol that decides it).
+    pub fn forest_mut(&mut self) -> &mut MarkedForest {
+        &mut self.forest
+    }
+
+    /// The accumulated communication costs.
+    pub fn cost(&self) -> CostReport {
+        self.cost.report()
+    }
+
+    /// Mutable access to the cost tracker (used by engines and by protocols
+    /// that charge explicitly modelled messages).
+    pub fn cost_mut(&mut self) -> &mut CostTracker {
+        &mut self.cost
+    }
+
+    /// The simulation configuration.
+    pub fn config(&self) -> NetworkConfig {
+        self.config
+    }
+
+    /// Replaces the configuration (e.g. to switch scheduler between phases).
+    pub fn set_config(&mut self, config: NetworkConfig) {
+        self.config = config;
+    }
+
+    /// The simulation RNG (delivery delays and protocol coins).
+    pub fn rng_mut(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of live edges.
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// The number of bits in a CONGEST word for this network:
+    /// `ceil(log2(n + u)) + 1` where `u` is the current maximum edge weight.
+    pub fn word_bits(&self) -> usize {
+        bits_for_value(self.graph.node_count() as u64 + self.graph.max_weight()) + 1
+    }
+
+    /// Marks a single edge.
+    pub fn mark(&mut self, e: EdgeId) {
+        self.forest.mark(e);
+    }
+
+    /// Unmarks a single edge.
+    pub fn unmark(&mut self, e: EdgeId) {
+        self.forest.unmark(e);
+    }
+
+    /// Marks every edge in the slice (e.g. a precomputed MST for repair
+    /// experiments).
+    pub fn mark_all(&mut self, edges: &[EdgeId]) {
+        for &e in edges {
+            self.forest.mark(e);
+        }
+    }
+
+    /// Clears every mark.
+    pub fn clear_marks(&mut self) {
+        self.forest = MarkedForest::new();
+    }
+
+    /// Dynamic update: inserts a new edge. Returns its handle.
+    pub fn insert_edge(&mut self, u: NodeId, v: NodeId, weight: Weight) -> Option<EdgeId> {
+        self.graph.add_edge(u, v, weight)
+    }
+
+    /// Dynamic update: deletes an edge, unmarking it if it was a tree edge.
+    /// Returns the handle and whether it was marked.
+    pub fn delete_edge(&mut self, u: NodeId, v: NodeId) -> Option<(EdgeId, bool)> {
+        let id = self.graph.remove_edge(u, v)?;
+        let was_marked = self.forest.unmark(id);
+        Some((id, was_marked))
+    }
+
+    /// Dynamic update: changes the weight of a live edge, returning the old
+    /// weight.
+    pub fn change_weight(&mut self, u: NodeId, v: NodeId, weight: Weight) -> Option<Weight> {
+        self.graph.set_weight(u, v, weight)
+    }
+
+    /// Builds the KT1 view of node `x`.
+    pub fn view(&self, x: NodeId) -> NodeView {
+        let incident = self
+            .graph
+            .incident(x)
+            .map(|e| {
+                let edge = self.graph.edge(e);
+                let neighbor = edge.other(x);
+                IncidentEdge {
+                    edge: e,
+                    neighbor,
+                    neighbor_id: self.graph.id_of(neighbor),
+                    weight: edge.weight,
+                    unique_weight: self.graph.unique_weight(e),
+                    edge_number: self.graph.edge_number(e),
+                    marked: self.forest.is_marked(e),
+                }
+            })
+            .collect();
+        NodeView {
+            node: x,
+            id: self.graph.id_of(x),
+            n: self.graph.node_count(),
+            id_bits: self.id_bits,
+            incident,
+        }
+    }
+
+    /// Builds views for every node (engines call this once per run).
+    pub fn views(&self) -> Vec<NodeView> {
+        (0..self.node_count()).map(|x| self.view(x)).collect()
+    }
+
+    /// The set of marked edges as a spanning-forest snapshot, for comparison
+    /// against the sequential oracle.
+    pub fn marked_forest_snapshot(&self) -> kkt_graphs::SpanningForest {
+        kkt_graphs::SpanningForest::from_edges(self.forest.edges())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kkt_graphs::generators;
+    use rand::SeedableRng;
+
+    fn network() -> Network {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = generators::connected_gnp(20, 0.2, 50, &mut rng);
+        Network::new(g, NetworkConfig::default())
+    }
+
+    #[test]
+    fn view_reports_kt1_knowledge() {
+        let net = network();
+        let v = net.view(3);
+        assert_eq!(v.node, 3);
+        assert_eq!(v.n, 20);
+        assert_eq!(v.id, net.graph().id_of(3));
+        assert_eq!(v.degree(), net.graph().degree(3));
+        for inc in &v.incident {
+            assert_eq!(inc.neighbor_id, net.graph().id_of(inc.neighbor));
+            assert!(!inc.marked, "nothing marked yet");
+        }
+    }
+
+    #[test]
+    fn marking_shows_up_in_views() {
+        let mut net = network();
+        let mst = kkt_graphs::kruskal(net.graph());
+        net.mark_all(&mst.edges);
+        let v = net.view(0);
+        assert!(v.tree_degree() >= 1);
+        assert_eq!(
+            v.tree_edges().count(),
+            net.graph().incident(0).filter(|e| mst.contains(*e)).count()
+        );
+        net.clear_marks();
+        assert_eq!(net.view(0).tree_degree(), 0);
+    }
+
+    #[test]
+    fn dynamic_updates_keep_forest_consistent() {
+        let mut net = network();
+        let mst = kkt_graphs::kruskal(net.graph());
+        net.mark_all(&mst.edges);
+        let &tree_edge = mst.edges.first().unwrap();
+        let edge = *net.graph().edge(tree_edge);
+        let (deleted, was_marked) = net.delete_edge(edge.u, edge.v).unwrap();
+        assert_eq!(deleted, tree_edge);
+        assert!(was_marked);
+        assert!(net.forest().validate(net.graph()).is_ok());
+        // Insert it back with a different weight.
+        let new_edge = net.insert_edge(edge.u, edge.v, edge.weight + 1).unwrap();
+        assert_ne!(new_edge, tree_edge);
+        assert_eq!(net.change_weight(edge.u, edge.v, 2), Some(edge.weight + 1));
+    }
+
+    #[test]
+    fn word_bits_scales_with_n_and_weights() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let small = Network::new(generators::connected_gnp(8, 0.3, 4, &mut rng), NetworkConfig::default());
+        let large = Network::new(
+            generators::connected_gnp(128, 0.05, 1 << 40, &mut rng),
+            NetworkConfig::default(),
+        );
+        assert!(small.word_bits() < large.word_bits());
+        assert!(large.word_bits() >= 40);
+    }
+
+    #[test]
+    fn config_constructors() {
+        let a = NetworkConfig::asynchronous(7, 16);
+        assert_eq!(a.seed, 7);
+        assert!(matches!(a.scheduler, Scheduler::RandomAsync { max_delay: 16 }));
+        let s = NetworkConfig::synchronous(3);
+        assert!(matches!(s.scheduler, Scheduler::Synchronous));
+        let z = NetworkConfig::asynchronous(1, 0);
+        assert!(matches!(z.scheduler, Scheduler::RandomAsync { max_delay: 1 }));
+    }
+
+    #[test]
+    fn view_helpers() {
+        let mut net = network();
+        let mst = kkt_graphs::kruskal(net.graph());
+        net.mark_all(&mst.edges);
+        let v = net.view(1);
+        let tn = v.tree_neighbors();
+        assert_eq!(tn.len(), v.tree_degree());
+        if let Some(first) = v.incident.first() {
+            assert_eq!(v.edge_to(first.neighbor).unwrap().edge, first.edge);
+        }
+        assert_eq!(v.incident_keys().count(), v.degree());
+        assert!(v.edge_to(usize::MAX).is_none());
+    }
+}

@@ -1,0 +1,386 @@
+//! High-level public API: a dynamically maintained spanning forest.
+//!
+//! [`MaintainedForest`] is the entry point a downstream user of this library
+//! is expected to reach for: it owns the simulated network, builds the
+//! MST/ST, applies dynamic updates with the paper's impromptu repair
+//! algorithms, and exposes the communication cost counters.
+//!
+//! ```rust
+//! use kkt_core::{MaintainedForest, MaintainOptions, TreeKind};
+//! use kkt_graphs::generators;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), kkt_core::CoreError> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let graph = generators::connected_gnp(64, 0.1, 1_000, &mut rng);
+//! let mut forest = MaintainedForest::build(graph, TreeKind::Mst, MaintainOptions::default())?;
+//! assert!(forest.verify().is_ok());
+//!
+//! // Delete a tree edge; the forest repairs itself with o(m) messages.
+//! let edge = forest.tree_edges()[0];
+//! let (u, v) = forest.endpoints(edge);
+//! forest.delete_edge(u, v)?;
+//! assert!(forest.verify().is_ok());
+//! # Ok(())
+//! # }
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use kkt_congest::{CostReport, Network, NetworkConfig, Scheduler};
+use kkt_graphs::{EdgeId, Graph, NodeId, SpanningForest, Weight};
+
+use crate::build_mst::{build_mst, BuildOutcome};
+use crate::build_st::build_st;
+use crate::config::KktConfig;
+use crate::error::CoreError;
+use crate::repair::{
+    decrease_weight_mst, delete_edge_mst, delete_edge_st, increase_weight_mst, insert_edge_mst,
+    insert_edge_st, DeleteOutcome, InsertOutcome,
+};
+
+/// Which structure is being maintained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TreeKind {
+    /// Minimum spanning forest (weights matter; repairs use `FindMin`).
+    Mst,
+    /// Arbitrary spanning forest (weights ignored; repairs use `FindAny`).
+    St,
+}
+
+/// Options for building and maintaining a forest.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MaintainOptions {
+    /// Algorithm parameters (confidence, word width, …).
+    pub config: KktConfig,
+    /// Construction-time scheduler (the paper's construction is synchronous).
+    pub build_scheduler: Scheduler,
+    /// Repair-time scheduler (the paper's repairs are asynchronous).
+    pub repair_scheduler: Scheduler,
+    /// Seed for all randomness (protocol coins and delivery delays).
+    pub seed: u64,
+}
+
+impl Default for MaintainOptions {
+    fn default() -> Self {
+        MaintainOptions {
+            config: KktConfig::default(),
+            build_scheduler: Scheduler::Synchronous,
+            repair_scheduler: Scheduler::RandomAsync { max_delay: 8 },
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// A spanning forest maintained over a dynamic network by the
+/// King–Kutten–Thorup algorithms.
+#[derive(Debug)]
+pub struct MaintainedForest {
+    net: Network,
+    kind: TreeKind,
+    options: MaintainOptions,
+    rng: StdRng,
+    build_outcome: BuildOutcome,
+    build_cost: CostReport,
+}
+
+impl MaintainedForest {
+    /// Builds the forest from scratch on the given graph (Theorem 1.1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction failures (probability `n^{-c}`).
+    pub fn build(
+        graph: Graph,
+        kind: TreeKind,
+        options: MaintainOptions,
+    ) -> Result<Self, CoreError> {
+        let net_config = NetworkConfig {
+            scheduler: options.build_scheduler,
+            seed: options.seed,
+            ..NetworkConfig::default()
+        };
+        let mut net = Network::new(graph, net_config);
+        let mut rng = StdRng::seed_from_u64(options.seed ^ 0xD15EA5E);
+        let build_outcome = match kind {
+            TreeKind::Mst => build_mst(&mut net, &options.config, &mut rng)?,
+            TreeKind::St => build_st(&mut net, &options.config, &mut rng)?,
+        };
+        let build_cost = net.cost();
+        // Switch to the repair-time scheduler for subsequent updates.
+        let mut repair_config = net.config();
+        repair_config.scheduler = options.repair_scheduler;
+        net.set_config(repair_config);
+        Ok(MaintainedForest { net, kind, options, rng, build_outcome, build_cost })
+    }
+
+    /// Adopts an externally supplied forest (e.g. a precomputed MST) instead
+    /// of building one — useful when benchmarking repairs in isolation.
+    pub fn adopt(
+        graph: Graph,
+        kind: TreeKind,
+        marked: &[EdgeId],
+        options: MaintainOptions,
+    ) -> Result<Self, CoreError> {
+        let net_config = NetworkConfig {
+            scheduler: options.repair_scheduler,
+            seed: options.seed,
+            ..NetworkConfig::default()
+        };
+        let mut net = Network::new(graph, net_config);
+        net.mark_all(marked);
+        net.forest().validate(net.graph()).map_err(CoreError::from)?;
+        let rng = StdRng::seed_from_u64(options.seed ^ 0xD15EA5E);
+        Ok(MaintainedForest {
+            net,
+            kind,
+            options,
+            rng,
+            build_outcome: BuildOutcome { phases: Vec::new(), edges_marked: marked.len() },
+            build_cost: CostReport::default(),
+        })
+    }
+
+    /// The kind of structure being maintained.
+    pub fn kind(&self) -> TreeKind {
+        self.kind
+    }
+
+    /// The currently maintained tree edges.
+    pub fn tree_edges(&self) -> Vec<EdgeId> {
+        self.net.forest().edges()
+    }
+
+    /// The maintained forest as a snapshot comparable with the sequential
+    /// oracle.
+    pub fn snapshot(&self) -> SpanningForest {
+        self.net.marked_forest_snapshot()
+    }
+
+    /// Endpoint handles of an edge.
+    pub fn endpoints(&self, edge: EdgeId) -> (NodeId, NodeId) {
+        let e = self.net.graph().edge(edge);
+        (e.u, e.v)
+    }
+
+    /// Number of nodes in the network.
+    pub fn node_count(&self) -> usize {
+        self.net.node_count()
+    }
+
+    /// Number of live edges in the network.
+    pub fn edge_count(&self) -> usize {
+        self.net.edge_count()
+    }
+
+    /// Total communication cost so far (construction + repairs).
+    pub fn cost(&self) -> CostReport {
+        self.net.cost()
+    }
+
+    /// Communication cost of the initial construction alone.
+    pub fn build_cost(&self) -> CostReport {
+        self.build_cost
+    }
+
+    /// Per-phase progress of the initial construction.
+    pub fn build_outcome(&self) -> &BuildOutcome {
+        &self.build_outcome
+    }
+
+    /// Read access to the underlying simulated network.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Deletes edge `{u, v}` and repairs the forest if needed (Theorem 1.2).
+    pub fn delete_edge(&mut self, u: NodeId, v: NodeId) -> Result<DeleteOutcome, CoreError> {
+        match self.kind {
+            TreeKind::Mst => {
+                delete_edge_mst(&mut self.net, u, v, &self.options.config, &mut self.rng)
+            }
+            TreeKind::St => {
+                delete_edge_st(&mut self.net, u, v, &self.options.config, &mut self.rng)
+            }
+        }
+    }
+
+    /// Inserts edge `{u, v}` with the given weight and repairs the forest if
+    /// needed.
+    pub fn insert_edge(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        weight: Weight,
+    ) -> Result<InsertOutcome, CoreError> {
+        match self.kind {
+            TreeKind::Mst => insert_edge_mst(&mut self.net, u, v, weight, &self.options.config),
+            TreeKind::St => insert_edge_st(&mut self.net, u, v, weight, &self.options.config),
+        }
+    }
+
+    /// Changes the weight of edge `{u, v}` (MST only; for an ST the weight is
+    /// irrelevant and the call is a cheap no-op on the tree).
+    pub fn change_weight(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        new_weight: Weight,
+    ) -> Result<(), CoreError> {
+        let edge = self
+            .net
+            .graph()
+            .edge_between(u, v)
+            .ok_or(CoreError::NoSuchEdge { u, v })?;
+        let old = self.net.graph().edge(edge).weight;
+        match self.kind {
+            TreeKind::St => {
+                self.net.change_weight(u, v, new_weight);
+                Ok(())
+            }
+            TreeKind::Mst if new_weight >= old => {
+                increase_weight_mst(
+                    &mut self.net,
+                    u,
+                    v,
+                    new_weight,
+                    &self.options.config,
+                    &mut self.rng,
+                )
+                .map(|_| ())
+            }
+            TreeKind::Mst => {
+                decrease_weight_mst(&mut self.net, u, v, new_weight, &self.options.config)
+                    .map(|_| ())
+            }
+        }
+    }
+
+    /// Verifies the maintained forest against the sequential oracle: it must
+    /// be a spanning forest, and for [`TreeKind::Mst`] the minimum one.
+    pub fn verify(&self) -> Result<(), String> {
+        let snapshot = self.snapshot();
+        match self.kind {
+            TreeKind::Mst => kkt_graphs::verify_mst(self.net.graph(), &snapshot),
+            TreeKind::St => kkt_graphs::verify_spanning_forest(self.net.graph(), &snapshot),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kkt_graphs::generators;
+    use rand::Rng;
+
+    fn options(seed: u64) -> MaintainOptions {
+        MaintainOptions { seed, ..MaintainOptions::default() }
+    }
+
+    #[test]
+    fn build_and_verify_mst() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = generators::connected_gnp(40, 0.15, 500, &mut rng);
+        let forest = MaintainedForest::build(g, TreeKind::Mst, options(2)).unwrap();
+        forest.verify().unwrap();
+        assert_eq!(forest.tree_edges().len(), 39);
+        assert!(forest.build_cost().messages > 0);
+        assert_eq!(forest.kind(), TreeKind::Mst);
+    }
+
+    #[test]
+    fn build_and_verify_st() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = generators::connected_gnp(40, 0.15, 1, &mut rng);
+        let forest = MaintainedForest::build(g, TreeKind::St, options(4)).unwrap();
+        forest.verify().unwrap();
+        assert_eq!(forest.tree_edges().len(), 39);
+    }
+
+    #[test]
+    fn adopt_accepts_a_valid_forest_and_rejects_cycles() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = generators::connected_gnp(20, 0.3, 100, &mut rng);
+        let mst = kkt_graphs::kruskal(&g);
+        let forest = MaintainedForest::adopt(g.clone(), TreeKind::Mst, &mst.edges, options(6)).unwrap();
+        forest.verify().unwrap();
+        assert_eq!(forest.build_cost().messages, 0);
+        // A cyclic marking is rejected.
+        let all: Vec<EdgeId> = g.live_edges().collect();
+        assert!(MaintainedForest::adopt(g, TreeKind::Mst, &all, options(7)).is_err());
+    }
+
+    #[test]
+    fn survives_a_random_update_stream() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = generators::connected_gnp(30, 0.25, 300, &mut rng);
+        let mut forest = MaintainedForest::build(g, TreeKind::Mst, options(9)).unwrap();
+        for step in 0..25 {
+            // Alternate deletions of random live edges and insertions of
+            // random missing pairs.
+            if step % 2 == 0 {
+                let edges: Vec<EdgeId> = forest.network().graph().live_edges().collect();
+                let e = edges[rng.gen_range(0..edges.len())];
+                let (u, v) = forest.endpoints(e);
+                forest.delete_edge(u, v).unwrap();
+            } else {
+                let n = forest.node_count();
+                let (u, v) = loop {
+                    let a = rng.gen_range(0..n);
+                    let b = rng.gen_range(0..n);
+                    if a != b && forest.network().graph().edge_between(a, b).is_none() {
+                        break (a, b);
+                    }
+                };
+                forest.insert_edge(u, v, rng.gen_range(1..300)).unwrap();
+            }
+            forest.verify().unwrap_or_else(|e| panic!("step {step}: {e}"));
+        }
+        assert!(forest.cost().messages > forest.build_cost().messages);
+    }
+
+    #[test]
+    fn st_maintenance_under_updates() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let g = generators::connected_gnp(24, 0.3, 1, &mut rng);
+        let mut forest = MaintainedForest::build(g, TreeKind::St, options(11)).unwrap();
+        for _ in 0..10 {
+            let tree_edges = forest.tree_edges();
+            let e = tree_edges[rng.gen_range(0..tree_edges.len())];
+            let (u, v) = forest.endpoints(e);
+            forest.delete_edge(u, v).unwrap();
+            forest.verify().unwrap();
+            forest.insert_edge(u, v, 1).unwrap();
+            forest.verify().unwrap();
+        }
+    }
+
+    #[test]
+    fn change_weight_keeps_the_mst_minimum() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let g = generators::connected_gnp(26, 0.3, 200, &mut rng);
+        let mut forest = MaintainedForest::build(g, TreeKind::Mst, options(13)).unwrap();
+        for _ in 0..10 {
+            let edges: Vec<EdgeId> = forest.network().graph().live_edges().collect();
+            let e = edges[rng.gen_range(0..edges.len())];
+            let (u, v) = forest.endpoints(e);
+            forest.change_weight(u, v, rng.gen_range(1..400)).unwrap();
+            forest.verify().unwrap();
+        }
+    }
+
+    #[test]
+    fn missing_edge_operations_error() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let g = generators::connected_gnp(10, 0.2, 10, &mut rng);
+        let mut forest = MaintainedForest::build(g, TreeKind::Mst, options(15)).unwrap();
+        let missing = (0..10)
+            .flat_map(|a| (0..10).map(move |b| (a, b)))
+            .find(|&(a, b)| a != b && forest.network().graph().edge_between(a, b).is_none())
+            .unwrap();
+        assert!(forest.delete_edge(missing.0, missing.1).is_err());
+        assert!(forest.change_weight(missing.0, missing.1, 5).is_err());
+    }
+}

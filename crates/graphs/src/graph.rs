@@ -1,0 +1,443 @@
+//! The global communication graph.
+//!
+//! [`Graph`] is the simulator's ground-truth topology. Nodes are dense indices
+//! `0..n`; each carries a distributed *identifier* drawn from a (possibly much
+//! larger) ID space, matching the KT1 model where IDs live in `{1, .., n^c}` (or
+//! larger, compressed down via Karp–Rabin fingerprinting, see `kkt-hashing`).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::edge::{EdgeId, EdgeNumber, UniqueWeight, Weight};
+
+/// Dense index of a node in the graph (`0..n`).
+///
+/// The *distributed identifier* of a node (what neighbours learn in the KT1
+/// model) is a separate value, see [`Graph::id_of`]. Keeping the two apart lets
+/// the workloads use sparse, adversarial or exponentially-large ID spaces while
+/// the simulator keeps O(1) indexing.
+pub type NodeId = usize;
+
+/// A single undirected edge of the communication graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Edge {
+    /// Smaller endpoint (by dense index).
+    pub u: NodeId,
+    /// Larger endpoint (by dense index).
+    pub v: NodeId,
+    /// Raw (not necessarily distinct) weight in `{1, .., u_max}`. For
+    /// unweighted problems this is `1` for every edge.
+    pub weight: Weight,
+}
+
+impl Edge {
+    /// The endpoint of the edge that is not `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not an endpoint of this edge.
+    pub fn other(&self, x: NodeId) -> NodeId {
+        if x == self.u {
+            self.v
+        } else if x == self.v {
+            self.u
+        } else {
+            panic!("node {x} is not an endpoint of edge ({}, {})", self.u, self.v)
+        }
+    }
+
+    /// True if `x` is one of the two endpoints.
+    pub fn is_endpoint(&self, x: NodeId) -> bool {
+        self.u == x || self.v == x
+    }
+}
+
+/// An undirected weighted graph with stable edge identifiers.
+///
+/// The graph is simple (no parallel edges, no self-loops); attempts to insert a
+/// duplicate or loop edge are rejected. Edges are never physically removed —
+/// [`Graph::remove_edge`] tombstones them — so [`EdgeId`]s remain stable across
+/// dynamic updates, which is what the repair algorithms key on.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Graph {
+    ids: Vec<u64>,
+    edges: Vec<Edge>,
+    alive: Vec<bool>,
+    adjacency: Vec<Vec<EdgeId>>,
+    present: BTreeSet<(NodeId, NodeId)>,
+}
+
+impl Graph {
+    /// Creates a graph with `n` isolated nodes whose distributed IDs are
+    /// `1..=n` (the simplest valid KT1 ID assignment).
+    pub fn new(n: usize) -> Self {
+        Self::with_ids((1..=n as u64).collect())
+    }
+
+    /// Creates a graph whose node `i` carries the distributed identifier
+    /// `ids[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the identifiers are not pairwise distinct or if any is zero
+    /// (the paper's ID space is `{1, .., n^c}`).
+    pub fn with_ids(ids: Vec<u64>) -> Self {
+        let mut seen = BTreeSet::new();
+        for &id in &ids {
+            assert!(id != 0, "node identifiers must be non-zero");
+            assert!(seen.insert(id), "duplicate node identifier {id}");
+        }
+        let n = ids.len();
+        Graph {
+            ids,
+            edges: Vec::new(),
+            alive: Vec::new(),
+            adjacency: vec![Vec::new(); n],
+            present: BTreeSet::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Number of *live* edges (tombstoned edges excluded).
+    pub fn edge_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Distributed identifier of node `x`.
+    pub fn id_of(&self, x: NodeId) -> u64 {
+        self.ids[x]
+    }
+
+    /// Dense index of the node with distributed identifier `id`, if any.
+    pub fn node_with_id(&self, id: u64) -> Option<NodeId> {
+        self.ids.iter().position(|&x| x == id)
+    }
+
+    /// Iterator over node indices.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.node_count()
+    }
+
+    /// Adds an undirected edge `{u, v}` with the given raw weight and returns
+    /// its identifier, or `None` if the edge already exists or is a self-loop.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, weight: Weight) -> Option<EdgeId> {
+        if u == v || u >= self.node_count() || v >= self.node_count() {
+            return None;
+        }
+        let key = (u.min(v), u.max(v));
+        if self.present.contains(&key) {
+            return None;
+        }
+        let id = EdgeId(self.edges.len());
+        self.edges.push(Edge { u: key.0, v: key.1, weight });
+        self.alive.push(true);
+        self.adjacency[u].push(id);
+        self.adjacency[v].push(id);
+        self.present.insert(key);
+        Some(id)
+    }
+
+    /// Tombstones the edge `{u, v}`; returns the removed edge's identifier.
+    ///
+    /// The identifier stays valid for [`Graph::edge`] lookups (so repair
+    /// algorithms can still refer to the deleted edge) but the edge no longer
+    /// appears in adjacency lists, [`Graph::live_edges`], or cut computations.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        let key = (u.min(v), u.max(v));
+        if !self.present.remove(&key) {
+            return None;
+        }
+        let id = self
+            .adjacency[u]
+            .iter()
+            .copied()
+            .find(|&e| self.alive[e.0] && self.edges[e.0].is_endpoint(v))?;
+        self.alive[id.0] = false;
+        self.adjacency[u].retain(|&e| e != id);
+        self.adjacency[v].retain(|&e| e != id);
+        Some(id)
+    }
+
+    /// Changes the raw weight of live edge `{u, v}`, returning the old weight.
+    pub fn set_weight(&mut self, u: NodeId, v: NodeId, weight: Weight) -> Option<Weight> {
+        let id = self.edge_between(u, v)?;
+        let old = self.edges[id.0].weight;
+        self.edges[id.0].weight = weight;
+        Some(old)
+    }
+
+    /// The edge record for `id`. Valid for tombstoned edges too.
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.0]
+    }
+
+    /// Whether the edge is still part of the graph.
+    pub fn is_live(&self, id: EdgeId) -> bool {
+        self.alive[id.0]
+    }
+
+    /// Identifier of the live edge between `u` and `v`, if present.
+    pub fn edge_between(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        if u == v {
+            return None;
+        }
+        self.adjacency[u]
+            .iter()
+            .copied()
+            .find(|&e| self.alive[e.0] && self.edges[e.0].is_endpoint(v))
+    }
+
+    /// Live edges incident to `x`.
+    pub fn incident(&self, x: NodeId) -> impl Iterator<Item = EdgeId> + '_ {
+        self.adjacency[x].iter().copied().filter(move |&e| self.alive[e.0])
+    }
+
+    /// Degree of `x` counting live edges only.
+    pub fn degree(&self, x: NodeId) -> usize {
+        self.incident(x).count()
+    }
+
+    /// All live edges.
+    pub fn live_edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edges.len()).map(EdgeId).filter(move |&e| self.alive[e.0])
+    }
+
+    /// The KT1 "edge number" of an edge: the concatenation of its endpoints'
+    /// distributed identifiers, smaller first (§2 "Definitions").
+    pub fn edge_number(&self, id: EdgeId) -> EdgeNumber {
+        let e = self.edge(id);
+        EdgeNumber::from_ids(self.id_of(e.u), self.id_of(e.v))
+    }
+
+    /// The distinct weight of an edge: raw weight concatenated with the edge
+    /// number (§2 "Definitions"), which makes all weights unique.
+    pub fn unique_weight(&self, id: EdgeId) -> UniqueWeight {
+        UniqueWeight::new(self.edge(id).weight, self.edge_number(id))
+    }
+
+    /// Maximum raw weight over live edges (1 if there are no edges).
+    pub fn max_weight(&self) -> Weight {
+        self.live_edges().map(|e| self.edge(e).weight).max().unwrap_or(1)
+    }
+
+    /// Maximum edge number over live edges incident to the given node set.
+    pub fn max_edge_number(&self) -> EdgeNumber {
+        self.live_edges()
+            .map(|e| self.edge_number(e))
+            .max()
+            .unwrap_or(EdgeNumber::from_ids(1, 2))
+    }
+
+    /// Whether the graph (restricted to live edges) is connected.
+    /// An empty graph and a single-node graph are connected.
+    pub fn is_connected(&self) -> bool {
+        let n = self.node_count();
+        if n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(x) = stack.pop() {
+            for e in self.incident(x) {
+                let y = self.edge(e).other(x);
+                if !seen[y] {
+                    seen[y] = true;
+                    count += 1;
+                    stack.push(y);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// Number of connected components over live edges.
+    pub fn component_count(&self) -> usize {
+        let n = self.node_count();
+        let mut seen = vec![false; n];
+        let mut comps = 0;
+        for s in 0..n {
+            if seen[s] {
+                continue;
+            }
+            comps += 1;
+            let mut stack = vec![s];
+            seen[s] = true;
+            while let Some(x) = stack.pop() {
+                for e in self.incident(x) {
+                    let y = self.edge(e).other(x);
+                    if !seen[y] {
+                        seen[y] = true;
+                        stack.push(y);
+                    }
+                }
+            }
+        }
+        comps
+    }
+
+    /// The set of live edges with exactly one endpoint in `side`
+    /// (`Cut(T, V \ T)` in the paper's notation).
+    pub fn cut(&self, side: &[bool]) -> Vec<EdgeId> {
+        self.live_edges()
+            .filter(|&e| {
+                let edge = self.edge(e);
+                side[edge.u] != side[edge.v]
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Graph(n={}, m={})", self.node_count(), self.edge_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 5).unwrap();
+        g.add_edge(1, 2, 3).unwrap();
+        g.add_edge(0, 2, 7).unwrap();
+        g
+    }
+
+    #[test]
+    fn new_graph_has_no_edges() {
+        let g = Graph::new(4);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 0);
+        assert!(!g.is_connected());
+        assert_eq!(g.component_count(), 4);
+    }
+
+    #[test]
+    fn single_node_graph_is_connected() {
+        assert!(Graph::new(1).is_connected());
+        assert!(Graph::new(0).is_connected());
+    }
+
+    #[test]
+    fn add_edge_rejects_self_loops_and_duplicates() {
+        let mut g = Graph::new(3);
+        assert!(g.add_edge(0, 0, 1).is_none());
+        assert!(g.add_edge(0, 1, 1).is_some());
+        assert!(g.add_edge(1, 0, 2).is_none(), "duplicate in reverse orientation");
+        assert!(g.add_edge(0, 7, 1).is_none(), "out of range endpoint");
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn edge_other_endpoint() {
+        let g = triangle();
+        let e = g.edge_between(0, 2).unwrap();
+        assert_eq!(g.edge(e).other(0), 2);
+        assert_eq!(g.edge(e).other(2), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn edge_other_panics_for_non_endpoint() {
+        let g = triangle();
+        let e = g.edge_between(0, 2).unwrap();
+        g.edge(e).other(1);
+    }
+
+    #[test]
+    fn remove_edge_tombstones() {
+        let mut g = triangle();
+        let id = g.remove_edge(1, 2).unwrap();
+        assert!(!g.is_live(id));
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.degree(1), 1);
+        assert!(g.edge_between(1, 2).is_none());
+        // The tombstoned record is still inspectable.
+        assert_eq!(g.edge(id).weight, 3);
+        // Re-inserting works and yields a fresh id.
+        let id2 = g.add_edge(2, 1, 9).unwrap();
+        assert_ne!(id, id2);
+        assert_eq!(g.edge(id2).weight, 9);
+    }
+
+    #[test]
+    fn remove_missing_edge_returns_none() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1);
+        assert!(g.remove_edge(1, 2).is_none());
+        assert!(g.remove_edge(0, 1).is_some());
+        assert!(g.remove_edge(0, 1).is_none());
+    }
+
+    #[test]
+    fn set_weight_updates_live_edge() {
+        let mut g = triangle();
+        assert_eq!(g.set_weight(0, 1, 11), Some(5));
+        let e = g.edge_between(0, 1).unwrap();
+        assert_eq!(g.edge(e).weight, 11);
+        assert_eq!(g.set_weight(2, 2, 1), None);
+    }
+
+    #[test]
+    fn connectivity_and_components() {
+        let mut g = Graph::new(5);
+        g.add_edge(0, 1, 1);
+        g.add_edge(1, 2, 1);
+        g.add_edge(3, 4, 1);
+        assert!(!g.is_connected());
+        assert_eq!(g.component_count(), 2);
+        g.add_edge(2, 3, 1);
+        assert!(g.is_connected());
+        assert_eq!(g.component_count(), 1);
+    }
+
+    #[test]
+    fn cut_finds_crossing_edges() {
+        let g = triangle();
+        let cut = g.cut(&[true, false, false]);
+        assert_eq!(cut.len(), 2);
+        for e in cut {
+            assert!(g.edge(e).is_endpoint(0));
+        }
+    }
+
+    #[test]
+    fn edge_number_uses_distributed_ids() {
+        let g = Graph::with_ids(vec![100, 7, 55]);
+        let mut g2 = g.clone();
+        let e = g2.add_edge(0, 1, 1).unwrap();
+        let num = g2.edge_number(e);
+        assert_eq!(num, EdgeNumber::from_ids(7, 100));
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_ids_rejected() {
+        Graph::with_ids(vec![1, 2, 2]);
+    }
+
+    #[test]
+    fn unique_weights_are_distinct_even_for_equal_raw_weights() {
+        let mut g = Graph::new(4);
+        let a = g.add_edge(0, 1, 5).unwrap();
+        let b = g.add_edge(2, 3, 5).unwrap();
+        assert_ne!(g.unique_weight(a), g.unique_weight(b));
+        assert_eq!(g.unique_weight(a).raw(), g.unique_weight(b).raw());
+    }
+
+    #[test]
+    fn display_summarises() {
+        let g = triangle();
+        assert_eq!(format!("{g}"), "Graph(n=3, m=3)");
+    }
+}

@@ -1,0 +1,129 @@
+//! Disjoint-set forest with union by rank and path compression.
+//!
+//! Used by the sequential reference MST (Kruskal) and by tests that need to
+//! reason about fragment membership without running the distributed protocol.
+
+/// A classic disjoint-set (union–find) structure over `0..n`.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n).collect(), rank: vec![0; n], components: n }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if the structure has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Representative of `x`'s set (with path compression).
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Representative of `x`'s set without mutating (no path compression).
+    pub fn find_immutable(&self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        root
+    }
+
+    /// Merges the sets containing `a` and `b`. Returns `true` if they were
+    /// previously distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] { (ra, rb) } else { (rb, ra) };
+        self.parent[lo] = hi;
+        if self.rank[hi] == self.rank[lo] {
+            self.rank[hi] += 1;
+        }
+        self.components -= 1;
+        true
+    }
+
+    /// True if `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_as_singletons() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.component_count(), 5);
+        assert_eq!(uf.len(), 5);
+        assert!(!uf.is_empty());
+        for i in 0..5 {
+            assert_eq!(uf.find(i), i);
+        }
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut uf = UnionFind::new(6);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert!(!uf.union(1, 0), "already merged");
+        assert_eq!(uf.component_count(), 4);
+        assert!(uf.union(1, 2));
+        assert!(uf.connected(0, 3));
+        assert!(!uf.connected(0, 5));
+        assert_eq!(uf.component_count(), 3);
+    }
+
+    #[test]
+    fn immutable_find_matches_mutable() {
+        let mut uf = UnionFind::new(8);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        uf.union(5, 6);
+        for i in 0..8 {
+            assert_eq!(uf.find_immutable(i), uf.clone().find(i));
+        }
+    }
+
+    #[test]
+    fn long_chain_compresses() {
+        let mut uf = UnionFind::new(1000);
+        for i in 0..999 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.component_count(), 1);
+        assert!(uf.connected(0, 999));
+    }
+}

@@ -1,0 +1,132 @@
+//! Karp–Rabin fingerprinting of large identifiers.
+//!
+//! The paper's KT1 results assume IDs in `{1, .., n^c}`; §1 notes that IDs
+//! from an exponential space can be mapped w.h.p. to distinct IDs in a
+//! polynomial space using classic Karp–Rabin fingerprinting. This module
+//! implements that compression: a fingerprint is the evaluation of the ID's
+//! bit string (as a polynomial) at a random point modulo a random-ish prime of
+//! `Θ(c·log n)` bits.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::modular::{add_mod, mul_mod};
+use crate::primes::next_prime_at_least;
+
+/// A Karp–Rabin fingerprinting scheme: all nodes that share the seed compute
+/// the same compression of the ID space, so neighbours' fingerprints can be
+/// computed locally from neighbours' IDs — preserving the KT1 property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KarpRabin {
+    p: u64,
+    x: u64,
+}
+
+impl KarpRabin {
+    /// Creates a scheme targeting an output space of roughly `target_bits`
+    /// bits (clamped to `[16, 62]`). For distinctness w.h.p. over `n` IDs,
+    /// pick `target_bits ≥ c·log2 n` with `c ≥ 3`.
+    pub fn new<R: Rng + ?Sized>(target_bits: u32, rng: &mut R) -> Self {
+        let bits = target_bits.clamp(16, 62);
+        let lower = 1u64 << (bits - 1);
+        let p = next_prime_at_least(lower + rng.gen_range(0..lower / 2));
+        let x = rng.gen_range(2..p);
+        KarpRabin { p, x }
+    }
+
+    /// The prime modulus (the fingerprint space is `[0, p)`).
+    pub fn modulus(&self) -> u64 {
+        self.p
+    }
+
+    /// Fingerprints a 128-bit identifier by evaluating its base-2^32 digits as
+    /// a polynomial at the random point `x` over `Z_p`, then mapping into
+    /// `[1, p]` so the result is a valid non-zero node identifier.
+    pub fn fingerprint(&self, id: u128) -> u64 {
+        let digits = [
+            (id & 0xFFFF_FFFF) as u64,
+            ((id >> 32) & 0xFFFF_FFFF) as u64,
+            ((id >> 64) & 0xFFFF_FFFF) as u64,
+            ((id >> 96) & 0xFFFF_FFFF) as u64,
+        ];
+        let mut acc = 0u64;
+        for &d in digits.iter().rev() {
+            acc = add_mod(mul_mod(acc, self.x, self.p), d % self.p, self.p);
+        }
+        acc + 1 // shift into [1, p] to satisfy the non-zero ID convention
+    }
+
+    /// Fingerprints every ID in a slice, preserving order.
+    pub fn fingerprint_all(&self, ids: &[u128]) -> Vec<u64> {
+        ids.iter().map(|&id| self.fingerprint(id)).collect()
+    }
+
+    /// Upper bound on the probability that any two of `n` *distinct* IDs
+    /// collide: union bound over pairs of the Schwartz–Zippel degree-3 root
+    /// probability.
+    pub fn collision_probability_bound(&self, n: u64) -> f64 {
+        let pairs = (n as f64) * (n as f64 - 1.0) / 2.0;
+        pairs * 3.0 / self.p as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn fingerprints_are_deterministic_and_nonzero() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let kr = KarpRabin::new(48, &mut rng);
+        for id in [0u128, 1, 42, u128::MAX, 1 << 90] {
+            let f = kr.fingerprint(id);
+            assert_eq!(f, kr.fingerprint(id));
+            assert!(f >= 1);
+            assert!(f <= kr.modulus());
+        }
+    }
+
+    #[test]
+    fn modulus_has_requested_size() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let kr = KarpRabin::new(40, &mut rng);
+        assert!(kr.modulus() >= 1 << 39);
+        assert!(kr.modulus() < 1 << 41);
+        let clamped = KarpRabin::new(200, &mut rng);
+        assert!(clamped.modulus() < 1 << 63);
+    }
+
+    #[test]
+    fn exponential_ids_compress_without_collisions() {
+        // 10_000 adversarially-structured 128-bit IDs (shared high bits) must
+        // stay distinct w.h.p. in a 56-bit fingerprint space.
+        let mut rng = StdRng::seed_from_u64(7);
+        let kr = KarpRabin::new(56, &mut rng);
+        let ids: Vec<u128> = (0..10_000u128).map(|i| (0xDEAD_BEEF << 64) | (i * i + 1)).collect();
+        let fps = kr.fingerprint_all(&ids);
+        let distinct: HashSet<_> = fps.iter().collect();
+        assert_eq!(distinct.len(), ids.len());
+        assert!(kr.collision_probability_bound(10_000) < 1e-6);
+    }
+
+    #[test]
+    fn different_seeds_give_different_schemes() {
+        let mut r1 = StdRng::seed_from_u64(100);
+        let mut r2 = StdRng::seed_from_u64(200);
+        let a = KarpRabin::new(48, &mut r1);
+        let b = KarpRabin::new(48, &mut r2);
+        assert_ne!((a.modulus(), a.fingerprint(12345)), (b.modulus(), b.fingerprint(12345)));
+    }
+
+    #[test]
+    fn collision_bound_grows_quadratically() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let kr = KarpRabin::new(50, &mut rng);
+        let small = kr.collision_probability_bound(100);
+        let large = kr.collision_probability_bound(1000);
+        assert!(large > small * 90.0 && large < small * 110.0);
+    }
+}

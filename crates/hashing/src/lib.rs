@@ -1,0 +1,47 @@
+//! Randomised hashing substrate for the `kkt-spanning` workspace.
+//!
+//! Everything probabilistic in King–Kutten–Thorup bottoms out in one of four
+//! primitives, each of which lives in its own module here:
+//!
+//! * [`odd_hash`] — Thorup's multiply-threshold *ε-odd* hash family
+//!   (`h(x) = [a·x mod 2^w ≤ t]`, a 1/8-odd distinguisher), the engine of
+//!   `TestOut` (§2.1 of the paper, citing arXiv:1411.4982).
+//! * [`pairwise`] — 2-wise independent hash families into a power-of-two
+//!   range, the engine of `FindAny`'s "isolate a single cut edge" step
+//!   (Lemma 4, §4.1).
+//! * [`set_equality`] — Schwartz–Zippel polynomial identity testing over
+//!   `Z_p`, the engine of `HP-TestOut` (§2.2, citing Blum–Kannan).
+//! * [`karp_rabin`] — Karp–Rabin fingerprinting used to compress an
+//!   exponential ID space into a polynomial one w.h.p. (§1).
+//!
+//! Supporting modules: [`primes`] (Miller–Rabin, prime selection) and
+//! [`modular`] (overflow-free `Z_p` arithmetic).
+//!
+//! # Example: an odd hash detects a non-empty cut with constant probability
+//!
+//! ```rust
+//! use kkt_hashing::odd_hash::OddHash;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let set: Vec<u64> = (10..30).collect();
+//! let mut hits = 0;
+//! for _ in 0..1000 {
+//!     let h = OddHash::random(&mut rng);
+//!     let parity: u64 = set.iter().map(|&x| h.bit(x) as u64).sum::<u64>() % 2;
+//!     hits += parity;
+//! }
+//! assert!(hits > 125, "odd parity should occur with probability >= 1/8");
+//! ```
+
+pub mod karp_rabin;
+pub mod modular;
+pub mod odd_hash;
+pub mod pairwise;
+pub mod primes;
+pub mod set_equality;
+
+pub use karp_rabin::KarpRabin;
+pub use odd_hash::OddHash;
+pub use pairwise::PairwiseHash;
+pub use set_equality::{EdgeSetPoly, SetEqualitySketch};

@@ -1,0 +1,138 @@
+//! Primality testing and prime selection.
+//!
+//! `HP-TestOut` needs a prime `p > max{maxEdgeNum(T), B/ε(n)}` with `|p| ≤ w`
+//! (§2.2). We provide a deterministic Miller–Rabin test (valid for all 64-bit
+//! integers with the standard witness set) and a "next prime at least" search,
+//! which is what a root node would compute locally after learning
+//! `maxEdgeNum` and `B` from a broadcast-and-echo.
+
+use crate::modular::{mul_mod, pow_mod};
+
+/// Deterministic Miller–Rabin for `u64`.
+///
+/// Uses the witness set `{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}`, which
+/// is known to be exact for every integer below `3.3 × 10^24`, hence for all
+/// `u64` inputs.
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    // Write n-1 = d * 2^r with d odd.
+    let mut d = n - 1;
+    let mut r = 0u32;
+    while d % 2 == 0 {
+        d /= 2;
+        r += 1;
+    }
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// The smallest prime `≥ lower`.
+///
+/// # Panics
+///
+/// Panics if no prime fits in `u64` above `lower` (cannot happen for
+/// `lower ≤ 2^64 - 59`, far beyond anything the protocols request).
+pub fn next_prime_at_least(lower: u64) -> u64 {
+    let mut candidate = lower.max(2);
+    if candidate > 2 && candidate % 2 == 0 {
+        candidate += 1;
+    }
+    loop {
+        if is_prime(candidate) {
+            return candidate;
+        }
+        candidate = candidate.checked_add(if candidate == 2 { 1 } else { 2 }).expect("no u64 prime found above the requested bound");
+    }
+}
+
+/// The prime the paper's `HP-TestOut` step 0 would select: the smallest prime
+/// exceeding both `max_edge_num` and `incident_edges / epsilon`.
+///
+/// `epsilon` must be in `(0, 1)`.
+pub fn hp_testout_prime(max_edge_num: u64, incident_edges: u64, epsilon: f64) -> u64 {
+    assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+    let by_error = (incident_edges as f64 / epsilon).ceil() as u64;
+    next_prime_at_least(max_edge_num.max(by_error).max(3) + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes_classified() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 97, 101];
+        for p in primes {
+            assert!(is_prime(p), "{p} is prime");
+        }
+        for c in [0u64, 1, 4, 6, 8, 9, 15, 21, 25, 27, 33, 35, 49, 91, 100] {
+            assert!(!is_prime(c), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn large_known_primes() {
+        assert!(is_prime(1_000_000_007));
+        assert!(is_prime(1_000_000_009));
+        assert!(is_prime((1u64 << 61) - 1), "Mersenne prime 2^61 - 1");
+        assert!(is_prime(18_446_744_073_709_551_557)); // largest 64-bit prime
+    }
+
+    #[test]
+    fn large_composites_and_carmichael() {
+        assert!(!is_prime(561)); // Carmichael
+        assert!(!is_prime(41041)); // Carmichael
+        assert!(!is_prime(3_215_031_751)); // strong pseudoprime to bases 2,3,5,7
+        assert!(!is_prime((1u64 << 61) - 3));
+        assert!(!is_prime(1_000_000_007u64 * 3));
+    }
+
+    #[test]
+    fn next_prime_at_least_works() {
+        assert_eq!(next_prime_at_least(0), 2);
+        assert_eq!(next_prime_at_least(2), 2);
+        assert_eq!(next_prime_at_least(3), 3);
+        assert_eq!(next_prime_at_least(4), 5);
+        assert_eq!(next_prime_at_least(90), 97);
+        assert_eq!(next_prime_at_least(1_000_000_008), 1_000_000_009);
+    }
+
+    #[test]
+    fn hp_prime_exceeds_both_bounds() {
+        let p = hp_testout_prime(5000, 200, 0.001);
+        assert!(is_prime(p));
+        assert!(p > 5000);
+        assert!(p as f64 > 200.0 / 0.001);
+        // Tiny inputs still give a usable prime > 3.
+        let q = hp_testout_prime(1, 1, 0.5);
+        assert!(q > 3 && is_prime(q));
+    }
+
+    #[test]
+    #[should_panic]
+    fn hp_prime_rejects_bad_epsilon() {
+        hp_testout_prime(10, 10, 1.5);
+    }
+}

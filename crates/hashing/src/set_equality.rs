@@ -1,0 +1,183 @@
+//! Schwartz–Zippel set-equality sketches over `Z_p`.
+//!
+//! `HP-TestOut` (§2.2) reduces "is there an edge leaving the tree `T`?" to the
+//! set-equality question `E↑(T) = E↓(T)`, where `E↑(u)` are the edges `(u, v)`
+//! oriented away from `u` and `E↓(u)` those oriented towards `u`
+//! (Observation 1: the two multisets over the whole tree differ iff some edge
+//! has exactly one endpoint in `T`).
+//!
+//! Set equality is tested by comparing the characteristic polynomials
+//! `P(D)(z) = Π_{e ∈ D} (z − edgeNumber(e)) mod p` at a random point
+//! `α ∈ Z_p` (Blum–Kannan / Schwartz–Zippel): if the sets differ, the
+//! evaluations differ with probability at least `1 − B/p`, where `B` bounds
+//! the multiset sizes.
+//!
+//! The sketch is a single element of `Z_p`, multiplicative under disjoint
+//! union, so it aggregates up a broadcast-and-echo tree in `O(log p)`-bit
+//! messages — exactly the cost HP-TestOut is charged in the paper.
+
+use serde::{Deserialize, Serialize};
+
+use crate::modular::{mul_mod, sub_mod};
+
+/// Evaluation context for the characteristic polynomial of an edge multiset:
+/// the prime `p` and the random evaluation point `α`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeSetPoly {
+    p: u64,
+    alpha: u64,
+}
+
+impl EdgeSetPoly {
+    /// Creates an evaluation context. `alpha` is reduced modulo `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p < 2`.
+    pub fn new(p: u64, alpha: u64) -> Self {
+        assert!(p >= 2, "the modulus must be at least 2");
+        EdgeSetPoly { p, alpha: alpha % p }
+    }
+
+    /// The prime modulus.
+    pub fn modulus(&self) -> u64 {
+        self.p
+    }
+
+    /// The evaluation point α.
+    pub fn alpha(&self) -> u64 {
+        self.alpha
+    }
+
+    /// Evaluates `Π (α − key) mod p` over the given multiset of edge keys —
+    /// the per-node local computation `Local↑` / `Local↓` of HP-TestOut.
+    pub fn eval<I: IntoIterator<Item = u64>>(&self, keys: I) -> SetEqualitySketch {
+        let mut acc = 1u64;
+        for k in keys {
+            acc = mul_mod(acc, sub_mod(self.alpha, k % self.p, self.p), self.p);
+        }
+        SetEqualitySketch { value: acc }
+    }
+
+    /// Error bound `B/p` of a single comparison for multisets of size ≤ `b`.
+    pub fn error_bound(&self, b: u64) -> f64 {
+        b as f64 / self.p as f64
+    }
+}
+
+/// The evaluation of an edge multiset's characteristic polynomial — one
+/// `Z_p` element, combinable across disjoint node-local multisets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SetEqualitySketch {
+    value: u64,
+}
+
+impl SetEqualitySketch {
+    /// The sketch of the empty multiset (multiplicative identity).
+    pub fn identity() -> Self {
+        SetEqualitySketch { value: 1 }
+    }
+
+    /// The raw `Z_p` value (what is put on the wire during the echo).
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Rebuilds a sketch from a wire value.
+    pub fn from_value(value: u64) -> Self {
+        SetEqualitySketch { value }
+    }
+
+    /// Combines the sketches of two disjoint multisets (product in `Z_p`).
+    pub fn combine(&self, other: &Self, ctx: &EdgeSetPoly) -> Self {
+        SetEqualitySketch { value: mul_mod(self.value, other.value, ctx.p) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primes::next_prime_at_least;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn ctx(alpha: u64) -> EdgeSetPoly {
+        EdgeSetPoly::new(next_prime_at_least(1 << 40), alpha)
+    }
+
+    #[test]
+    fn equal_multisets_always_match() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let set: Vec<u64> = (0..50).map(|_| rng.gen_range(1..1u64 << 30)).collect();
+        for _ in 0..100 {
+            let c = ctx(rng.gen());
+            let mut shuffled = set.clone();
+            use rand::seq::SliceRandom;
+            shuffled.shuffle(&mut rng);
+            assert_eq!(c.eval(set.iter().copied()), c.eval(shuffled.into_iter()));
+        }
+    }
+
+    #[test]
+    fn unequal_multisets_almost_always_differ() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a: Vec<u64> = (1..=60).collect();
+        let mut b = a.clone();
+        b[30] = 1_000_003; // one element differs
+        let mut mismatches = 0;
+        let trials = 500;
+        for _ in 0..trials {
+            let c = ctx(rng.gen());
+            if c.eval(a.iter().copied()) != c.eval(b.iter().copied()) {
+                mismatches += 1;
+            }
+        }
+        assert_eq!(mismatches, trials, "with a 40-bit prime a collision is ~2^-34 likely");
+    }
+
+    #[test]
+    fn multiset_multiplicity_matters() {
+        let c = ctx(987654321);
+        let once = c.eval([7u64, 9]);
+        let twice = c.eval([7u64, 7, 9]);
+        assert_ne!(once, twice);
+    }
+
+    #[test]
+    fn combine_matches_concatenation() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let c = ctx(rng.gen());
+        let left: Vec<u64> = (0..20).map(|_| rng.gen_range(1..1u64 << 35)).collect();
+        let right: Vec<u64> = (0..33).map(|_| rng.gen_range(1..1u64 << 35)).collect();
+        let combined = c.eval(left.iter().copied()).combine(&c.eval(right.iter().copied()), &c);
+        let concatenated = c.eval(left.iter().chain(right.iter()).copied());
+        assert_eq!(combined, concatenated);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let c = ctx(5);
+        let s = c.eval([3u64, 14, 15]);
+        assert_eq!(s.combine(&SetEqualitySketch::identity(), &c), s);
+        assert_eq!(c.eval(std::iter::empty()), SetEqualitySketch::identity());
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let c = ctx(123);
+        let s = c.eval([10u64, 20, 30]);
+        assert_eq!(SetEqualitySketch::from_value(s.value()), s);
+    }
+
+    #[test]
+    fn error_bound_is_small_for_large_prime() {
+        let c = ctx(1);
+        assert!(c.error_bound(1000) < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_modulus_rejected() {
+        EdgeSetPoly::new(1, 0);
+    }
+}

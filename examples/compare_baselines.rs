@@ -1,0 +1,46 @@
+//! Side-by-side message counts of the KKT MST construction, the GHS-style
+//! baseline, and flooding, as network density grows (the `o(m)` headline of
+//! the paper).
+//!
+//! ```bash
+//! cargo run --release --example compare_baselines
+//! ```
+
+use kkt::baselines::{build_mst_ghs, build_st_by_flooding};
+use kkt::congest::{Network, NetworkConfig};
+use kkt::core::{build_mst, KktConfig};
+use kkt::graphs::generators;
+use rand::SeedableRng;
+
+fn main() {
+    let config = KktConfig::default();
+    let n = 192;
+    println!("fixed n = {n}, growing density (average degree):");
+    println!(
+        "{:>8} {:>9} {:>12} {:>12} {:>12}",
+        "avg_deg", "m", "kkt_mst", "ghs_mst", "flooding"
+    );
+    for &avg_degree in &[3usize, 8, 24, 64, 191] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(avg_degree as u64);
+        let m_target = (n * avg_degree / 2).min(n * (n - 1) / 2);
+        let g = generators::connected_with_edges(n, m_target, 1_000, &mut rng);
+        let m = g.edge_count();
+
+        let mut kkt_net = Network::new(g.clone(), NetworkConfig::synchronous(1));
+        let mut r = rand::rngs::StdRng::seed_from_u64(2);
+        build_mst(&mut kkt_net, &config, &mut r).expect("construction converges");
+        let kkt = kkt_net.cost().messages;
+
+        let mut ghs_net = Network::new(g.clone(), NetworkConfig::synchronous(3));
+        build_mst_ghs(&mut ghs_net);
+        let ghs = ghs_net.cost().messages;
+
+        let mut flood_net = Network::new(g, NetworkConfig::synchronous(4));
+        build_st_by_flooding(&mut flood_net, 0).unwrap();
+        let flood = flood_net.cost().messages;
+
+        println!("{avg_degree:>8} {m:>9} {kkt:>12} {ghs:>12} {flood:>12}");
+    }
+    println!("\nKKT's column is flat in m; the baselines' grow (GHS mildly on random weights,");
+    println!("flooding linearly). See crates/bench (exp1, exp8) for the full sweeps.");
+}

@@ -1,0 +1,60 @@
+//! A dynamic network scenario: a long stream of link failures, recoveries and
+//! latency changes, maintained impromptu (no state between updates beyond the
+//! marked tree itself).
+//!
+//! ```bash
+//! cargo run --example dynamic_network
+//! ```
+
+use kkt::graphs::generators::{self, Update};
+use kkt::{MaintainOptions, MaintainedForest, TreeKind};
+use rand::SeedableRng;
+
+fn main() -> Result<(), kkt::CoreError> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let graph = generators::connected_with_edges(192, 1200, 500, &mut rng);
+    let updates = generators::random_update_stream(&graph, 60, 500, 0.6, &mut rng);
+    let m = graph.edge_count();
+
+    let mut forest = MaintainedForest::build(graph, TreeKind::Mst, MaintainOptions::default())?;
+    println!(
+        "initial MST over n = {}, m = {}: {} messages",
+        forest.node_count(),
+        m,
+        forest.build_cost().messages
+    );
+
+    let mut per_update_messages = Vec::new();
+    for (i, update) in updates.iter().enumerate() {
+        let before = forest.cost().messages;
+        match *update {
+            Update::Delete { u, v } => {
+                forest.delete_edge(u, v)?;
+            }
+            Update::Insert { u, v, weight } => {
+                forest.insert_edge(u, v, weight)?;
+            }
+            Update::IncreaseWeight { u, v, weight } | Update::DecreaseWeight { u, v, weight } => {
+                forest.change_weight(u, v, weight)?;
+            }
+        }
+        let spent = forest.cost().messages - before;
+        per_update_messages.push(spent);
+        forest.verify().unwrap_or_else(|e| panic!("update {i} broke the forest: {e}"));
+    }
+
+    let total: u64 = per_update_messages.iter().sum();
+    let max = per_update_messages.iter().max().copied().unwrap_or(0);
+    println!(
+        "processed {} updates: {} messages total, {:.0} per update on average, {} worst case",
+        per_update_messages.len(),
+        total,
+        total as f64 / per_update_messages.len() as f64,
+        max
+    );
+    println!(
+        "for reference, re-flooding after every update would cost ≈ {} messages per update",
+        2 * m
+    );
+    Ok(())
+}

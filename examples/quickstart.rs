@@ -1,0 +1,54 @@
+//! Quickstart: build a minimum spanning tree with o(m) messages and repair it
+//! after an edge deletion.
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! ```
+
+use kkt::graphs::generators;
+use kkt::{MaintainOptions, MaintainedForest, TreeKind};
+use rand::SeedableRng;
+
+fn main() -> Result<(), kkt::CoreError> {
+    // A random connected network: 256 routers, average degree ~12, weights in
+    // [1, 1000] (think link latencies).
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2026);
+    let graph = generators::connected_with_edges(256, 1536, 1_000, &mut rng);
+    let (n, m) = (graph.node_count(), graph.edge_count());
+    println!("network: n = {n}, m = {m}");
+
+    // Build the MST with the King–Kutten–Thorup construction (Theorem 1.1).
+    let mut forest = MaintainedForest::build(graph, TreeKind::Mst, MaintainOptions::default())?;
+    forest.verify().expect("the marked edges are the unique MST");
+    let build = forest.build_cost();
+    println!(
+        "built the MST: {} messages ({:.1} per node), {} broadcast-and-echoes, vs m = {m}",
+        build.messages,
+        build.messages as f64 / n as f64,
+        build.broadcast_echoes,
+    );
+
+    // Impromptu repair (Theorem 1.2): delete a tree edge and watch the forest
+    // fix itself with messages proportional to n, not m.
+    let victim = forest.tree_edges()[10];
+    let (u, v) = forest.endpoints(victim);
+    let before = forest.cost();
+    let outcome = forest.delete_edge(u, v)?;
+    let delta_messages = forest.cost().messages - before.messages;
+    println!("deleted tree edge ({u}, {v}): {outcome:?}, repaired with {delta_messages} messages");
+    forest.verify().expect("still the MST of the updated graph");
+
+    // Insert a brand-new light edge; the MST swaps it in deterministically.
+    let (a, b) = (0..forest.node_count())
+        .flat_map(|a| (0..forest.node_count()).map(move |b| (a, b)))
+        .find(|&(a, b)| a != b && forest.network().graph().edge_between(a, b).is_none())
+        .expect("a sparse graph has missing pairs");
+    let before = forest.cost();
+    let outcome = forest.insert_edge(a, b, 1)?;
+    let delta_messages = forest.cost().messages - before.messages;
+    println!("inserted edge ({a}, {b}, w=1): {outcome:?}, processed with {delta_messages} messages");
+    forest.verify().expect("still the MST after the insertion");
+
+    println!("total communication so far: {}", forest.cost());
+    Ok(())
+}

@@ -1,0 +1,169 @@
+//! Cross-crate integration tests: the full pipeline from workload generation
+//! through distributed construction, dynamic repair, and comparison against
+//! both the sequential oracle and the baseline algorithms.
+
+use kkt::baselines::{build_mst_ghs, build_st_by_flooding};
+use kkt::congest::{Network, NetworkConfig};
+use kkt::core::{build_mst, build_st, KktConfig};
+use kkt::graphs::{generators, kruskal, verify_mst, verify_spanning_forest};
+use kkt::{MaintainOptions, MaintainedForest, TreeKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn kkt_and_ghs_agree_on_the_mst() {
+    for seed in 0..4 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::connected_gnp(48, 0.2, 2_000, &mut rng);
+
+        let mut kkt_net = Network::new(g.clone(), NetworkConfig::synchronous(seed));
+        let mut r = StdRng::seed_from_u64(seed + 100);
+        build_mst(&mut kkt_net, &KktConfig::default(), &mut r).unwrap();
+
+        let mut ghs_net = Network::new(g.clone(), NetworkConfig::synchronous(seed));
+        build_mst_ghs(&mut ghs_net);
+
+        let reference = kruskal(&g);
+        assert_eq!(kkt_net.marked_forest_snapshot(), reference);
+        assert_eq!(ghs_net.marked_forest_snapshot(), reference);
+    }
+}
+
+#[test]
+fn st_constructions_all_span() {
+    // A dense unweighted network — the regime where beating the Ω(m) folk
+    // theorem matters.
+    let mut rng = StdRng::seed_from_u64(9);
+    let g = generators::complete(128, 1, &mut rng);
+
+    let mut kkt_net = Network::new(g.clone(), NetworkConfig::synchronous(1));
+    let mut r = StdRng::seed_from_u64(2);
+    build_st(&mut kkt_net, &KktConfig::default(), &mut r).unwrap();
+    verify_spanning_forest(kkt_net.graph(), &kkt_net.marked_forest_snapshot()).unwrap();
+
+    let mut flood_net = Network::new(g, NetworkConfig::synchronous(3));
+    build_st_by_flooding(&mut flood_net, 0).unwrap();
+    verify_spanning_forest(flood_net.graph(), &flood_net.marked_forest_snapshot()).unwrap();
+
+    // The o(m) result: on this dense unweighted graph the KKT construction
+    // uses fewer messages than flooding.
+    assert!(
+        kkt_net.cost().messages < flood_net.cost().messages,
+        "kkt {} vs flooding {}",
+        kkt_net.cost().messages,
+        flood_net.cost().messages
+    );
+}
+
+#[test]
+fn maintained_forest_survives_mixed_update_streams() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let g = generators::connected_with_edges(72, 400, 300, &mut rng);
+    let mut forest =
+        MaintainedForest::build(g, TreeKind::Mst, MaintainOptions { seed: 5, ..Default::default() })
+            .unwrap();
+    forest.verify().unwrap();
+
+    for step in 0..40 {
+        match step % 4 {
+            0 => {
+                // Delete a random tree edge.
+                let edges = forest.tree_edges();
+                let e = edges[rng.gen_range(0..edges.len())];
+                let (u, v) = forest.endpoints(e);
+                forest.delete_edge(u, v).unwrap();
+            }
+            1 => {
+                // Delete a random non-tree edge if one exists.
+                let non_tree: Vec<_> = forest
+                    .network()
+                    .graph()
+                    .live_edges()
+                    .filter(|e| !forest.tree_edges().contains(e))
+                    .collect();
+                if let Some(&e) = non_tree.first() {
+                    let (u, v) = forest.endpoints(e);
+                    forest.delete_edge(u, v).unwrap();
+                }
+            }
+            2 => {
+                // Insert a random missing edge.
+                let n = forest.node_count();
+                let pair = (0..200)
+                    .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+                    .find(|&(a, b)| {
+                        a != b && forest.network().graph().edge_between(a, b).is_none()
+                    });
+                if let Some((a, b)) = pair {
+                    forest.insert_edge(a, b, rng.gen_range(1..300)).unwrap();
+                }
+            }
+            _ => {
+                // Re-weight a random live edge.
+                let edges: Vec<_> = forest.network().graph().live_edges().collect();
+                let e = edges[rng.gen_range(0..edges.len())];
+                let (u, v) = forest.endpoints(e);
+                forest.change_weight(u, v, rng.gen_range(1..300)).unwrap();
+            }
+        }
+        forest.verify().unwrap_or_else(|err| panic!("step {step}: {err}"));
+    }
+}
+
+#[test]
+fn st_maintenance_is_cheaper_than_mst_maintenance() {
+    let mut rng = StdRng::seed_from_u64(21);
+    let g = generators::connected_with_edges(96, 600, 100, &mut rng);
+    let mst = kruskal(&g);
+
+    let run = |kind: TreeKind| {
+        let mut forest = MaintainedForest::adopt(
+            g.clone(),
+            kind,
+            &mst.edges,
+            MaintainOptions { seed: 77, ..Default::default() },
+        )
+        .unwrap();
+        let mut deleted = Vec::new();
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..8 {
+            let edges = forest.tree_edges();
+            let e = edges[rng.gen_range(0..edges.len())];
+            let (u, v) = forest.endpoints(e);
+            forest.delete_edge(u, v).unwrap();
+            deleted.push((u, v));
+            forest.verify().unwrap();
+        }
+        forest.cost().messages
+    };
+
+    let st_cost = run(TreeKind::St);
+    let mst_cost = run(TreeKind::Mst);
+    assert!(
+        st_cost < mst_cost,
+        "FindAny-based ST repair ({st_cost}) should be cheaper than FindMin-based MST repair ({mst_cost})"
+    );
+}
+
+#[test]
+fn construction_message_counts_follow_the_paper_shape() {
+    // Messages per node for the KKT construction should grow only
+    // polylogarithmically with n, while flooding per node grows linearly with
+    // the average degree. This is the qualitative shape of Theorem 1.1.
+    let config = KktConfig::default();
+    let mut per_node = Vec::new();
+    for &n in &[32usize, 64, 128] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let g = generators::connected_with_edges(n, 4 * n, 1_000, &mut rng);
+        let mut net = Network::new(g, NetworkConfig::synchronous(1));
+        let mut r = StdRng::seed_from_u64(2);
+        build_mst(&mut net, &config, &mut r).unwrap();
+        verify_mst(net.graph(), &net.marked_forest_snapshot()).unwrap();
+        per_node.push(net.cost().messages as f64 / n as f64);
+    }
+    // Quadrupling n should far less than quadruple the per-node cost.
+    assert!(
+        per_node[2] < per_node[0] * 3.0,
+        "per-node message growth {per_node:?} looks super-polylogarithmic"
+    );
+}
