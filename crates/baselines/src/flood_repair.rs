@@ -88,11 +88,7 @@ mod tests {
     #[test]
     fn non_tree_deletion_is_free() {
         let mut net = network(30, 0.4, 2);
-        let non_tree = net
-            .graph()
-            .live_edges()
-            .find(|&e| !net.forest().is_marked(e))
-            .unwrap();
+        let non_tree = net.graph().live_edges().find(|&e| !net.forest().is_marked(e)).unwrap();
         let e = *net.graph().edge(non_tree);
         let outcome = flood_repair_delete(&mut net, e.u, e.v).unwrap();
         assert!(!outcome.was_tree_edge);
@@ -103,7 +99,7 @@ mod tests {
 
     #[test]
     fn cost_scales_with_m_unlike_the_impromptu_repair() {
-        let mut run = |p: f64, seed: u64| {
+        let run = |p: f64, seed: u64| {
             let mut net = network(40, p, seed);
             let tree_edge = net.forest().edges()[10];
             let e = *net.graph().edge(tree_edge);

@@ -48,7 +48,7 @@ mod tests {
         let n = 60;
         let sparse = generators::connected_with_edges(n, n + 10, 5, &mut rng);
         let dense = generators::complete(n, 5, &mut rng);
-        let mut run = |g: kkt_graphs::Graph| {
+        let run = |g: kkt_graphs::Graph| {
             let mut net = Network::new(g, NetworkConfig::default());
             build_st_by_flooding(&mut net, 0).unwrap();
             net.cost().messages

@@ -60,10 +60,7 @@ pub fn build_mst_ghs(net: &mut Network) -> GhsOutcome {
     let word = net.word_bits() as u64;
     let mut uf = UnionFind::new(n);
     let mut rejected: Vec<bool> = Vec::new();
-    rejected.resize(
-        net.graph().live_edges().map(|e| e.0).max().map_or(0, |m| m + 1),
-        false,
-    );
+    rejected.resize(net.graph().live_edges().map(|e| e.0).max().map_or(0, |m| m + 1), false);
     let mut tree_edges: Vec<EdgeId> = Vec::new();
     let mut phases = Vec::new();
 
@@ -125,8 +122,8 @@ pub fn build_mst_ghs(net: &mut Network) -> GhsOutcome {
 
         // Merge along the chosen edges.
         let mut progressed = false;
-        for root in 0..n {
-            if let Some((_, e)) = best_per_fragment[root] {
+        for best in best_per_fragment.iter().take(n) {
+            if let Some((_, e)) = *best {
                 let edge = net.graph().edge(e);
                 if uf.union(edge.u, edge.v) {
                     tree_edges.push(e);
@@ -200,7 +197,7 @@ mod tests {
             }
         }
         let m_clustered = clustered.edge_count() as u64;
-        let mut run = |g: kkt_graphs::Graph| {
+        let run = |g: kkt_graphs::Graph| {
             let mut net = Network::new(g, NetworkConfig::default());
             build_mst_ghs(&mut net);
             net.cost().messages

@@ -1,0 +1,20 @@
+//! Experiment binary: churn-policy comparison (see `kkt-workloads`).
+//!
+//! Prints the human-readable table to **stderr** and the sealed,
+//! deterministic JSON report to **stdout**, so
+//! `cargo run --bin exp9_churn_policies > report.json` captures valid JSON.
+//!
+//! Scale is controlled by the `KKT_SCALE` environment variable
+//! (`large` for the full sweep, anything else for the quick one) and the
+//! seed by `KKT_SEED`.
+
+use kkt_bench::experiments;
+use kkt_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let seed = std::env::var("KKT_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0xFEED);
+    let (table, report) = experiments::exp9_churn_policies(scale, seed);
+    eprintln!("{table}");
+    println!("{}", serde_json::to_string_pretty(&report).expect("report serialises"));
+}

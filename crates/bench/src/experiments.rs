@@ -10,10 +10,11 @@ use rand::SeedableRng;
 use kkt_baselines::{build_mst_ghs, build_st_by_flooding, flood_repair_delete};
 use kkt_congest::{Network, NetworkConfig};
 use kkt_core::{
-    build_mst, build_st, delete_edge_mst, delete_edge_st, find_any_c, find_min_traced,
-    hp_test_out, insert_edge_mst, test_out, DeleteOutcome, KktConfig, WeightInterval,
+    build_mst, build_st, delete_edge_mst, delete_edge_st, find_any_c, find_min_traced, hp_test_out,
+    insert_edge_mst, test_out, DeleteOutcome, KktConfig, WeightInterval,
 };
 use kkt_graphs::{generators, kruskal, Graph};
+use kkt_workloads::{run_churn_suite, ChurnSuiteReport, SuiteParams};
 
 use crate::stats::Summary;
 use crate::table::Table;
@@ -206,8 +207,7 @@ pub fn exp4_st_repair(scale: Scale, seed: u64) -> Table {
             let before = net.cost();
             delete_edge_st(&mut net, edge.u, edge.v, &config, &mut r).unwrap();
             costs.push((net.cost() - before).messages);
-            kkt_graphs::verify_spanning_forest(net.graph(), &net.marked_forest_snapshot())
-                .unwrap();
+            kkt_graphs::verify_spanning_forest(net.graph(), &net.marked_forest_snapshot()).unwrap();
         }
         let s = Summary::of_u64(&costs);
         table.push_row(vec![
@@ -428,6 +428,65 @@ pub fn exp8_density_crossover(scale: Scale, seed: u64) -> Table {
     table
 }
 
+/// E9 — churn policies: the standard scenario battery (Poisson churn,
+/// adversarial tree-cut, partition-and-heal, weight drift, mixed lifecycle)
+/// replayed under impromptu repair vs rebuild-from-scratch policies. The
+/// amortised version of the repair theorems: over a long trace, repairing
+/// beats rebuilding by roughly the ratio of `Õ(n)` to the construction cost.
+///
+/// Returns the printable table *and* the full sealed JSON report (the
+/// `exp9_churn_policies` binary prints the former to stderr and the latter
+/// to stdout).
+pub fn exp9_churn_policies(scale: Scale, seed: u64) -> (Table, ChurnSuiteReport) {
+    let params = match scale {
+        Scale::Quick => SuiteParams {
+            n: 48,
+            m: 4 * 48,
+            events: 12,
+            verify_every: 4,
+            seed,
+            ..SuiteParams::default()
+        },
+        Scale::Large => SuiteParams {
+            n: 128,
+            m: 8 * 128,
+            events: 40,
+            verify_every: 5,
+            seed,
+            ..SuiteParams::default()
+        },
+    };
+    let report = run_churn_suite(&params).expect("churn suite replays and verifies");
+    let mut table = Table::new(
+        "E9: churn policies — impromptu repair vs rebuild, total cost over the whole trace",
+        &[
+            "scenario",
+            "policy",
+            "events",
+            "msgs_total",
+            "bits_total",
+            "msgs/event",
+            "msgs/event(max)",
+            "checkpoints",
+        ],
+    );
+    for scenario in &report.scenarios {
+        for r in &scenario.reports {
+            table.push_row(vec![
+                scenario.scenario.clone(),
+                r.policy.clone(),
+                r.top_level_events.to_string(),
+                r.total.messages.to_string(),
+                r.total.bits.to_string(),
+                format!("{:.0}", r.mean_messages_per_event),
+                r.max_messages_per_event.to_string(),
+                r.checkpoints_verified.to_string(),
+            ]);
+        }
+    }
+    (table, report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -447,6 +506,27 @@ mod tests {
         for row in table.rows() {
             assert_eq!(row[4], "0", "TestOut/HP-TestOut must never report a phantom edge");
         }
+    }
+
+    #[test]
+    fn exp9_repair_beats_rebuild_on_poisson_churn() {
+        let (table, report) = exp9_churn_policies(Scale::Quick, 7);
+        // 5 scenarios × 3 MST policies.
+        assert_eq!(table.len(), 15);
+        let poisson = report
+            .scenarios
+            .iter()
+            .find(|s| s.scenario.starts_with("poisson_churn"))
+            .expect("the battery includes Poisson churn");
+        let repair = poisson.report_for("impromptu_repair").unwrap();
+        let rebuild = poisson.report_for("rebuild_kkt").unwrap();
+        assert!(
+            repair.total.bits < rebuild.total.bits,
+            "impromptu repair ({} bits) must beat rebuild ({} bits)",
+            repair.total.bits,
+            rebuild.total.bits
+        );
+        assert!(!report.fingerprint.is_empty());
     }
 
     #[test]

@@ -61,7 +61,11 @@ impl fmt::Display for Table {
             writeln!(f, "| {} |", parts.join(" | "))
         };
         line(f, &self.header)?;
-        writeln!(f, "|{}|", widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|"))?;
+        writeln!(
+            f,
+            "|{}|",
+            widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
+        )?;
         for row in &self.rows {
             line(f, row)?;
         }

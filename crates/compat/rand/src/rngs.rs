@@ -1,0 +1,111 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// SplitMix64 step: expands a `u64` seed into a full generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// The workspace's standard generator: xoshiro256++ (Blackman–Vigna).
+///
+/// Not a reimplementation of upstream `StdRng` (ChaCha12) — only the seeded
+/// stream's *stability* matters to this workspace, not its concrete bytes.
+/// xoshiro256++ passes BigCrush and is more than adequate for simulation
+/// coins and synthetic workload generation (nothing here is cryptographic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    #[inline]
+    fn step(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.s = s;
+        result
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.step() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.step()
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, slot) in s.iter_mut().enumerate() {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+            *slot = u64::from_le_bytes(word);
+        }
+        if s == [0; 4] {
+            return Self::seed_from_u64(0);
+        }
+        StdRng { s }
+    }
+
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = state;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // xoshiro's state must not be all-zero; SplitMix64 never produces
+        // four zero outputs in a row, but keep the guard explicit.
+        if s == [0; 4] {
+            s = [0x9E3779B97F4A7C15, 1, 2, 3];
+        }
+        StdRng { s }
+    }
+}
+
+/// Alias: the shim has a single generator quality tier.
+pub type SmallRng = StdRng;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_expansion_differs_per_word() {
+        let rng = StdRng::seed_from_u64(0);
+        assert_ne!(rng.s[0], rng.s[1]);
+        assert_ne!(rng.s[1], rng.s[2]);
+    }
+
+    #[test]
+    fn from_seed_round_trips_words() {
+        let mut seed = [0u8; 32];
+        seed[0] = 1;
+        let rng = <StdRng as SeedableRng>::from_seed(seed);
+        assert_eq!(rng.s[0], 1);
+    }
+
+    #[test]
+    fn zero_seed_is_valid() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_ne!(rng.next_u64(), rng.next_u64());
+    }
+}

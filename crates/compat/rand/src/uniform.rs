@@ -1,0 +1,220 @@
+//! Uniform sampling from ranges and "standard" distributions.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::RngCore;
+
+/// Types with a canonical "standard" distribution (`Rng::gen`).
+pub trait StandardSample: Sized {
+    /// Draws one standard sample.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_uint {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+standard_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardSample for u128 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl StandardSample for i128 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        u128::sample_standard(rng) as i128
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types `gen_range` can produce.
+pub trait SampleUniform: Sized {
+    /// A uniform sample from `[lo, hi]` (both inclusive).
+    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+/// Draws a uniform `u128` in `[0, span)` by masked rejection (unbiased; at
+/// most two draws in expectation).
+fn uniform_below<R: RngCore + ?Sized>(span: u128, rng: &mut R) -> u128 {
+    debug_assert!(span > 0);
+    if span == 1 {
+        return 0;
+    }
+    let bits = 128 - (span - 1).leading_zeros();
+    let mask = if bits >= 128 { u128::MAX } else { (1u128 << bits) - 1 };
+    loop {
+        let raw = if bits <= 64 {
+            rng.next_u64() as u128
+        } else {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        };
+        let candidate = raw & mask;
+        if candidate < span {
+            return candidate;
+        }
+    }
+}
+
+macro_rules! uniform_int {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u128;
+                if span == u128::MAX {
+                    return u128::sample_standard(rng) as $t;
+                }
+                let offset = uniform_below(span + 1, rng);
+                ((lo as $wide as u128).wrapping_add(offset)) as $t
+            }
+        }
+    )*};
+}
+
+uniform_int!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize, u128 => u128,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize, i128 => u128
+);
+
+impl SampleUniform for f64 {
+    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+        assert!(lo <= hi, "gen_range: empty range");
+        lo + (hi - lo) * f64::sample_standard(rng)
+    }
+}
+
+/// Ranges `gen_range` accepts.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! range_impls {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                <$t>::sample_inclusive(self.start, self.end - 1 as $t, rng)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                <$t>::sample_inclusive(*self.start(), *self.end(), rng)
+            }
+        }
+    )*};
+}
+
+range_impls!(u8, u16, u32, u64, usize, u128, i8, i16, i32, i64, isize, i128);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        f64::sample_inclusive(self.start, self.end, rng)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        f64::sample_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn inclusive_bounds_are_reachable() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..1_000 {
+            match rng.gen_range(0u64..=3) {
+                0 => lo_seen = true,
+                3 => hi_seen = true,
+                _ => {}
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn u128_ranges_work() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hi = 1u128 << 90;
+        for _ in 0..100 {
+            let x: u128 = rng.gen_range(1..hi);
+            assert!((1..hi).contains(&x));
+        }
+    }
+
+    #[test]
+    fn u128_ranges_wider_than_127_bits_work() {
+        // span > 2^127 forces a 128-bit mask; the shift must not overflow
+        // and the samples must spread over the whole range.
+        let mut rng = StdRng::seed_from_u64(6);
+        let hi = 1u128 << 127;
+        let mut above_64_bits = 0;
+        for _ in 0..64 {
+            let x: u128 = rng.gen_range(0..=hi);
+            assert!(x <= hi);
+            if x > u128::from(u64::MAX) {
+                above_64_bits += 1;
+            }
+        }
+        assert!(above_64_bits > 48, "high bits must actually vary, got {above_64_bits}/64");
+    }
+
+    #[test]
+    fn signed_ranges_work() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..500 {
+            let x: i64 = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _: u64 = rng.gen_range(5..5);
+    }
+
+    #[test]
+    fn f64_range_stays_inside() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..500 {
+            let x: f64 = rng.gen_range(2.0..3.0);
+            assert!((2.0..3.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Offline shim for `serde`.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! subset of serde the workspace needs: `#[derive(Serialize, Deserialize)]`
+//! on plain structs and enums, routed through a single JSON-shaped [`Value`]
+//! data model instead of upstream's visitor architecture. `serde_json` (the
+//! sibling shim) renders and parses that [`Value`].
+//!
+//! Conventions match upstream serde's JSON encoding so the output is
+//! unsurprising: structs are objects, newtype structs are their inner value,
+//! unit enum variants are strings, and data-carrying variants are
+//! externally-tagged single-key objects.
+
+mod impls;
+mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{DeError, Value};
+
+/// A type that can be converted into the JSON-shaped [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` to a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from the JSON-shaped [`Value`] model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the value's shape does not match `Self`.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+// The derive macros generate paths spelled `serde::...`; inside this crate
+// itself (for the blanket impls) we refer to items directly.

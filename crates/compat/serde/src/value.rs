@@ -1,0 +1,102 @@
+//! The JSON-shaped data model shared by `Serialize` and `Deserialize`.
+
+use std::fmt;
+
+/// A JSON-like value.
+///
+/// Object fields keep their insertion order (a `Vec`, not a map) so that
+/// serialised output is deterministic and mirrors declaration order — the
+/// workload fingerprints depend on byte-identical output for identical data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Unsigned integer (covers `u128`).
+    UInt(u128),
+    /// Negative integer (always `< 0`; non-negatives normalise to `UInt`).
+    Int(i128),
+    /// Floating point number.
+    Float(f64),
+    /// String.
+    String(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with ordered fields.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Field lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// One-word description of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) | Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// An error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+
+    /// "expected X, got Y" convenience constructor.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        DeError::new(format!("expected {what}, got {}", got.kind()))
+    }
+
+    /// Prefixes the message with a field/variant context.
+    #[must_use]
+    pub fn in_context(self, context: &str) -> Self {
+        DeError::new(format!("{context}: {}", self.msg))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_finds_fields_in_order() {
+        let v = Value::Object(vec![("a".into(), Value::UInt(1)), ("b".into(), Value::Bool(true))]);
+        assert_eq!(v.get("b"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("c"), None);
+        assert_eq!(Value::Null.get("a"), None);
+    }
+
+    #[test]
+    fn errors_render_context() {
+        let e = DeError::expected("integer", &Value::Null).in_context("field `x`");
+        assert_eq!(e.to_string(), "field `x`: expected integer, got null");
+    }
+}

@@ -1,0 +1,477 @@
+//! Offline `#[derive(Serialize, Deserialize)]` for the `serde` shim.
+//!
+//! The build environment has no crates.io access, so this derive is written
+//! against the compiler's built-in `proc_macro` API alone (no `syn`/`quote`).
+//! It parses plain (non-generic) structs and enums — the only shapes this
+//! workspace derives — and emits impls of the shim's single-method traits:
+//!
+//! * `serde::Serialize::to_value(&self) -> serde::Value`
+//! * `serde::Deserialize::from_value(&serde::Value) -> Result<Self, DeError>`
+//!
+//! Encoding conventions follow upstream serde's JSON representation: structs
+//! become objects, newtype structs their inner value, multi-field tuple
+//! structs arrays, unit variants strings, and data variants externally-tagged
+//! `{"Variant": ...}` objects.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// A miniature item parser
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    ty: String,
+}
+
+enum Body {
+    Unit,
+    Newtype(String),
+    Tuple(Vec<String>),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    body: Body,
+}
+
+enum Item {
+    Struct { name: String, body: Body },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Skips outer attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` followed by a bracket group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Splits a token list on top-level commas, treating `<...>` as nesting (the
+/// delimiter groups are already single tokens, but angle brackets are plain
+/// punctuation and e.g. `BTreeMap<K, V>` must not split at its inner comma).
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut parts = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    parts.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(t.clone());
+    }
+    if !current.is_empty() {
+        parts.push(current);
+    }
+    parts
+}
+
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    tokens.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(" ")
+}
+
+/// Parses `name: Type` fields out of a brace group's tokens.
+fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    for part in split_top_level_commas(tokens) {
+        let i = skip_attrs_and_vis(&part, 0);
+        if i >= part.len() {
+            continue; // trailing comma
+        }
+        let name = match &part[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found `{other}`")),
+        };
+        match part.get(i + 1) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        let ty = tokens_to_string(&part[i + 2..]);
+        if ty.is_empty() {
+            return Err(format!("missing type for field `{name}`"));
+        }
+        fields.push(Field { name, ty });
+    }
+    Ok(fields)
+}
+
+/// Parses the comma-separated types of a paren (tuple) group.
+fn parse_tuple_types(tokens: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut types = Vec::new();
+    for part in split_top_level_commas(tokens) {
+        let i = skip_attrs_and_vis(&part, 0);
+        if i >= part.len() {
+            continue;
+        }
+        types.push(tokens_to_string(&part[i..]));
+    }
+    Ok(types)
+}
+
+fn parse_enum_variants(tokens: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for part in split_top_level_commas(tokens) {
+        let i = skip_attrs_and_vis(&part, 0);
+        if i >= part.len() {
+            continue;
+        }
+        let name = match &part[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found `{other}`")),
+        };
+        let body = match part.get(i + 1) {
+            None => Body::Unit,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Body::Named(parse_named_fields(&inner)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let types = parse_tuple_types(&inner)?;
+                if types.len() == 1 {
+                    Body::Newtype(types.into_iter().next().unwrap())
+                } else {
+                    Body::Tuple(types)
+                }
+            }
+            Some(other) => {
+                return Err(format!("unsupported token `{other}` after variant `{name}` (discriminants are not supported)"))
+            }
+        };
+        variants.push(Variant { name, body });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "the offline serde shim derive does not support generic type `{name}`"
+            ));
+        }
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok(Item::Struct { name, body: Body::Named(parse_named_fields(&inner)?) })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let types = parse_tuple_types(&inner)?;
+                let body = if types.len() == 1 {
+                    Body::Newtype(types.into_iter().next().unwrap())
+                } else {
+                    Body::Tuple(types)
+                };
+                Ok(Item::Struct { name, body })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                Ok(Item::Struct { name, body: Body::Unit })
+            }
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok(Item::Enum { name, variants: parse_enum_variants(&inner)? })
+            }
+            other => Err(format!("expected enum body, found {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (string-based, reparsed into a TokenStream)
+// ---------------------------------------------------------------------------
+
+fn string_lit(s: &str) -> String {
+    format!("::std::string::String::from(\"{s}\")")
+}
+
+fn ser_named_fields(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    let pairs: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!("({}, ::serde::Serialize::to_value({}))", string_lit(&f.name), access(&f.name))
+        })
+        .collect();
+    format!("::serde::Value::Object(::std::vec::Vec::from([{}]))", pairs.join(", "))
+}
+
+fn de_named_fields(fields: &[Field], type_name: &str, source: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{field}: <{ty} as ::serde::Deserialize>::from_value({source}.get(\"{field}\")\
+                 .ok_or_else(|| ::serde::DeError::new(\"missing field `{field}` in {type_name}\"))?)\
+                 .map_err(|e| e.in_context(\"field `{field}` of {type_name}\"))?",
+                field = f.name,
+                ty = f.ty,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn generate_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, body } => {
+            let body_code = match body {
+                Body::Unit => "::serde::Value::Null".to_string(),
+                Body::Newtype(_) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Body::Tuple(types) => {
+                    let items: Vec<String> = (0..types.len())
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec::Vec::from([{}]))", items.join(", "))
+                }
+                Body::Named(fields) => ser_named_fields(fields, |f| format!("&self.{f}")),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                   fn to_value(&self) -> ::serde::Value {{ {body_code} }}\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.body {
+                        Body::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::String({}),",
+                            string_lit(vname)
+                        ),
+                        Body::Newtype(_) => format!(
+                            "{name}::{vname}(inner) => ::serde::Value::Object(::std::vec::Vec::from([({}, ::serde::Serialize::to_value(inner))])),",
+                            string_lit(vname)
+                        ),
+                        Body::Tuple(types) => {
+                            let binders: Vec<String> =
+                                (0..types.len()).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({binds}) => ::serde::Value::Object(::std::vec::Vec::from([({lit}, ::serde::Value::Array(::std::vec::Vec::from([{items}])))])),",
+                                binds = binders.join(", "),
+                                lit = string_lit(vname),
+                                items = items.join(", ")
+                            )
+                        }
+                        Body::Named(fields) => {
+                            let binders: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let obj = ser_named_fields(fields, |f| f.to_string());
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(::std::vec::Vec::from([({lit}, {obj})])),",
+                                binds = binders.join(", "),
+                                lit = string_lit(vname),
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                   fn to_value(&self) -> ::serde::Value {{\
+                     match self {{ {} }}\
+                   }}\
+                 }}",
+                arms.join(" ")
+            )
+        }
+    }
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, body } => {
+            let body_code = match body {
+                Body::Unit => format!(
+                    "match value {{\
+                       ::serde::Value::Null => ::std::result::Result::Ok({name}),\
+                       other => ::std::result::Result::Err(::serde::DeError::expected(\"null\", other)),\
+                     }}"
+                ),
+                Body::Newtype(ty) => format!(
+                    "::std::result::Result::Ok({name}(<{ty} as ::serde::Deserialize>::from_value(value)\
+                     .map_err(|e| e.in_context(\"newtype {name}\"))?))"
+                ),
+                Body::Tuple(types) => {
+                    let n = types.len();
+                    let items: Vec<String> = types
+                        .iter()
+                        .enumerate()
+                        .map(|(i, ty)| {
+                            format!(
+                                "<{ty} as ::serde::Deserialize>::from_value(&items[{i}])\
+                                 .map_err(|e| e.in_context(\"field {i} of {name}\"))?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "match value {{\
+                           ::serde::Value::Array(items) if items.len() == {n} =>\
+                             ::std::result::Result::Ok({name}({})),\
+                           other => ::std::result::Result::Err(::serde::DeError::expected(\"array of {n} elements\", other)),\
+                         }}",
+                        items.join(", ")
+                    )
+                }
+                Body::Named(fields) => format!(
+                    "match value {{\
+                       ::serde::Value::Object(_) => ::std::result::Result::Ok({name} {{ {} }}),\
+                       other => ::std::result::Result::Err(::serde::DeError::expected(\"object\", other)),\
+                     }}",
+                    de_named_fields(fields, name, "value")
+                ),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\
+                   fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\
+                     {body_code}\
+                   }}\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.body, Body::Unit))
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),", v = v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.body {
+                        Body::Unit => None,
+                        Body::Newtype(ty) => Some(format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                               <{ty} as ::serde::Deserialize>::from_value(inner)\
+                               .map_err(|e| e.in_context(\"variant {vname} of {name}\"))?)),"
+                        )),
+                        Body::Tuple(types) => {
+                            let n = types.len();
+                            let items: Vec<String> = types
+                                .iter()
+                                .enumerate()
+                                .map(|(i, ty)| {
+                                    format!(
+                                        "<{ty} as ::serde::Deserialize>::from_value(&items[{i}])\
+                                         .map_err(|e| e.in_context(\"variant {vname} of {name}\"))?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => match inner {{\
+                                   ::serde::Value::Array(items) if items.len() == {n} =>\
+                                     ::std::result::Result::Ok({name}::{vname}({})),\
+                                   other => ::std::result::Result::Err(::serde::DeError::expected(\"array of {n} elements\", other)),\
+                                 }},",
+                                items.join(", ")
+                            ))
+                        }
+                        Body::Named(fields) => Some(format!(
+                            "\"{vname}\" => match inner {{\
+                               ::serde::Value::Object(_) => ::std::result::Result::Ok({name}::{vname} {{ {} }}),\
+                               other => ::std::result::Result::Err(::serde::DeError::expected(\"object\", other)),\
+                             }},",
+                            de_named_fields(fields, &format!("{name}::{vname}"), "inner")
+                        )),
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\
+                   fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\
+                     match value {{\
+                       ::serde::Value::String(tag) => match tag.as_str() {{\
+                         {unit_arms}\
+                         other => ::std::result::Result::Err(::serde::DeError::new(\
+                           ::std::format!(\"unknown unit variant `{{other}}` for {name}\"))),\
+                       }},\
+                       ::serde::Value::Object(fields) if fields.len() == 1 => {{\
+                         let (tag, inner) = &fields[0];\
+                         let _ = inner;\
+                         match tag.as_str() {{\
+                           {data_arms}\
+                           other => ::std::result::Result::Err(::serde::DeError::new(\
+                             ::std::format!(\"unknown variant `{{other}}` for {name}\"))),\
+                         }}\
+                       }}\
+                       other => ::std::result::Result::Err(::serde::DeError::expected(\"enum representation\", other)),\
+                     }}\
+                   }}\
+                 }}",
+                unit_arms = unit_arms.join(" "),
+                data_arms = data_arms.join(" "),
+            )
+        }
+    }
+}
+
+fn expand(input: TokenStream, generate: fn(&Item) -> String) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => generate(&item),
+        Err(msg) => {
+            let escaped = msg.replace('\\', "\\\\").replace('"', "\\\"");
+            format!("::std::compile_error!(\"serde shim derive: {escaped}\");")
+        }
+    };
+    code.parse().expect("serde shim derive generated invalid Rust")
+}
+
+/// Derives `serde::Serialize` (shim version: `to_value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, generate_serialize)
+}
+
+/// Derives `serde::Deserialize` (shim version: `from_value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, generate_deserialize)
+}

@@ -1,0 +1,141 @@
+//! Offline shim for `serde_json`, rendering and parsing the [`serde`] shim's
+//! [`Value`] data model.
+//!
+//! Guarantees the workload subsystem relies on:
+//!
+//! * **Deterministic output.** Object fields render in insertion order
+//!   (declaration order for derived structs), so equal data always produces
+//!   byte-identical JSON — the scenario fingerprints hash this output.
+//! * **Round-tripping.** `from_str(&to_string(&x))` reconstructs `x` for
+//!   every type the workspace serialises (integers up to `u128`, floats,
+//!   strings, nesting).
+
+mod de;
+mod ser;
+
+pub use serde::{DeError, Value};
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// A `Result` alias matching upstream `serde_json`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Converts any serialisable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Reconstructs a typed value from a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns [`Error`] when the tree's shape does not match `T`.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T> {
+    T::from_value(value).map_err(Error::from)
+}
+
+/// Renders compact JSON (no whitespace).
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String> {
+    Ok(ser::render(&value.to_value(), None))
+}
+
+/// Renders pretty-printed JSON (two-space indent, like upstream).
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String> {
+    Ok(ser::render(&value.to_value(), Some(0)))
+}
+
+/// Parses JSON text into a typed value.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T> {
+    let value = de::parse(text)?;
+    from_value(&value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(to_string(&1u64).unwrap(), "1");
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&"hi\"\\\n".to_string()).unwrap(), "\"hi\\\"\\\\\\n\"");
+        assert_eq!(to_string(&u128::MAX).unwrap(), u128::MAX.to_string());
+    }
+
+    #[test]
+    fn containers_render_deterministically() {
+        let v = Value::Object(vec![
+            ("b".into(), Value::UInt(2)),
+            ("a".into(), Value::Array(vec![Value::Null, Value::Bool(false)])),
+        ]);
+        assert_eq!(to_string(&v).unwrap(), r#"{"b":2,"a":[null,false]}"#);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"b\": 2"));
+    }
+
+    #[test]
+    fn round_trips() {
+        let original: Vec<Option<u64>> = vec![Some(1), None, Some(u64::MAX)];
+        let text = to_string(&original).unwrap();
+        let back: Vec<Option<u64>> = from_str(&text).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn parses_whitespace_and_nesting() {
+        let v: Value = from_str(" { \"x\" : [ 1 , -2.5e1 , \"s\" ] } ").unwrap();
+        assert_eq!(
+            v.get("x"),
+            Some(&Value::Array(vec![
+                Value::UInt(1),
+                Value::Float(-25.0),
+                Value::String("s".into())
+            ]))
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("tru").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+
+    #[test]
+    fn float_round_trip() {
+        let xs = [0.5f64, -1.25, 1e300, 3.0];
+        let text = to_string(&xs.to_vec()).unwrap();
+        let back: Vec<f64> = from_str(&text).unwrap();
+        assert_eq!(back, xs.to_vec());
+    }
+}

@@ -1,0 +1,136 @@
+//! JSON rendering.
+
+use serde::Value;
+
+/// Escapes a string into a JSON string literal (without the quotes).
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders a float the way upstream serde_json does: always distinguishable
+/// from an integer (a bare `3` becomes `3.0`).
+fn render_float(x: f64, out: &mut String) {
+    if x.is_finite() {
+        let text = format!("{x}");
+        out.push_str(&text);
+        if !text.contains('.') && !text.contains('e') && !text.contains('E') {
+            out.push_str(".0");
+        }
+    } else {
+        // Upstream errors on non-finite floats; the shim renders null, which
+        // is what upstream's `Value` printing does.
+        out.push_str("null");
+    }
+}
+
+/// Renders `value`; `indent = None` for compact output, `Some(level)` for
+/// pretty-printed output with two-space indentation.
+pub fn render(value: &Value, indent: Option<usize>) -> String {
+    let mut out = String::new();
+    render_into(value, indent, &mut out);
+    out
+}
+
+fn newline_indent(level: usize, out: &mut String) {
+    out.push('\n');
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn render_into(value: &Value, indent: Option<usize>, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::UInt(x) => out.push_str(&x.to_string()),
+        Value::Int(x) => out.push_str(&x.to_string()),
+        Value::Float(x) => render_float(*x, out),
+        Value::String(s) => {
+            out.push('"');
+            escape_into(s, out);
+            out.push('"');
+        }
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(level) = indent {
+                    newline_indent(level + 1, out);
+                }
+                render_into(item, indent.map(|l| l + 1), out);
+            }
+            if let Some(level) = indent {
+                newline_indent(level, out);
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(level) = indent {
+                    newline_indent(level + 1, out);
+                }
+                out.push('"');
+                escape_into(key, out);
+                out.push_str(if indent.is_some() { "\": " } else { "\":" });
+                render_into(item, indent.map(|l| l + 1), out);
+            }
+            if let Some(level) = indent {
+                newline_indent(level, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floats_keep_a_decimal_point() {
+        let mut out = String::new();
+        render_float(3.0, &mut out);
+        assert_eq!(out, "3.0");
+        out.clear();
+        render_float(2.5, &mut out);
+        assert_eq!(out, "2.5");
+    }
+
+    #[test]
+    fn control_characters_escape() {
+        let v = Value::String("\u{1}".into());
+        assert_eq!(render(&v, None), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn empty_containers_stay_compact_when_pretty() {
+        assert_eq!(render(&Value::Array(vec![]), Some(0)), "[]");
+        assert_eq!(render(&Value::Object(vec![]), Some(0)), "{}");
+    }
+}

@@ -107,11 +107,8 @@ impl<A: TreeAggregate> BroadcastEcho<A> {
         out: &mut Outbox<BeMsg<A::Down, A::Up>>,
     ) {
         let local = self.aggregate.local(view, &down);
-        let children: Vec<NodeId> = view
-            .tree_edges()
-            .map(|e| e.neighbor)
-            .filter(|&x| Some(x) != parent)
-            .collect();
+        let children: Vec<NodeId> =
+            view.tree_edges().map(|e| e.neighbor).filter(|&x| Some(x) != parent).collect();
         self.parent = parent;
         self.pending = children.len();
         if self.pending == 0 {

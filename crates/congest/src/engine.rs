@@ -326,12 +326,8 @@ mod tests {
         fn on_message(&mut self, from: NodeId, msg: u64, view: &NodeView, out: &mut Outbox<u64>) {
             self.hops_left = msg;
             if msg > 0 {
-                let next = view
-                    .incident
-                    .iter()
-                    .map(|e| e.neighbor)
-                    .find(|&x| x != from)
-                    .unwrap_or(from);
+                let next =
+                    view.incident.iter().map(|e| e.neighbor).find(|&x| x != from).unwrap_or(from);
                 out.send(next, msg - 1);
             }
         }
@@ -376,7 +372,11 @@ mod tests {
     fn only_touched_nodes_are_materialised() {
         let mut network = net(100, 0.05, 9);
         let (programs, _) = Engine::run(&mut network, &[0], |_| Relay { hops_left: 3 }).unwrap();
-        assert!(programs.len() <= 5, "a 3-hop relay touches at most 4 nodes, got {}", programs.len());
+        assert!(
+            programs.len() <= 5,
+            "a 3-hop relay touches at most 4 nodes, got {}",
+            programs.len()
+        );
     }
 
     #[test]
@@ -394,7 +394,8 @@ mod tests {
         let run = |seed: u64| {
             let mut network = net(20, 0.2, 5);
             network.set_config(NetworkConfig::asynchronous(seed, 8));
-            let (_, stats) = Engine::run_all(&mut network, |_| CountTokens { received: 0 }).unwrap();
+            let (_, stats) =
+                Engine::run_all(&mut network, |_| CountTokens { received: 0 }).unwrap();
             stats
         };
         assert_eq!(run(11), run(11));

@@ -61,7 +61,13 @@ impl Protocol for Flood {
         }
     }
 
-    fn on_message(&mut self, from: NodeId, msg: FloodMsg, view: &NodeView, out: &mut Outbox<FloodMsg>) {
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        msg: FloodMsg,
+        view: &NodeView,
+        out: &mut Outbox<FloodMsg>,
+    ) {
         match msg {
             FloodMsg::Token => {
                 if !self.joined {

@@ -133,9 +133,7 @@ impl MarkedForest {
         let mut uf = kkt_graphs::UnionFind::new(g.node_count());
         for &e in &self.marked {
             if !g.is_live(e) {
-                return Err(CongestError::ImproperMarking(format!(
-                    "marked edge {e} is not live"
-                )));
+                return Err(CongestError::ImproperMarking(format!("marked edge {e} is not live")));
             }
             let edge = g.edge(e);
             if !uf.union(edge.u, edge.v) {

@@ -101,29 +101,18 @@ impl LeaderElection {
     /// The elected leader of the fragment containing `x`, or `None` if that
     /// fragment's marked edges contain a cycle (no leader emerges).
     pub fn leader_of(&self, net: &Network, x: NodeId) -> Option<NodeId> {
-        net.forest()
-            .tree_of(net.graph(), x)
-            .into_iter()
-            .find(|&y| self.is_leader[y])
+        net.forest().tree_of(net.graph(), x).into_iter().find(|&y| self.is_leader[y])
     }
 
     /// All elected leaders, ascending.
     pub fn leaders(&self) -> Vec<NodeId> {
-        self.is_leader
-            .iter()
-            .enumerate()
-            .filter_map(|(x, &l)| l.then_some(x))
-            .collect()
+        self.is_leader.iter().enumerate().filter_map(|(x, &l)| l.then_some(x)).collect()
     }
 
     /// Nodes that failed to hear from exactly two tree neighbours — by the
     /// argument in §4.2 these are exactly the nodes lying on a marked cycle.
     pub fn cycle_nodes(&self) -> Vec<NodeId> {
-        self.unheard
-            .iter()
-            .enumerate()
-            .filter_map(|(x, u)| (u.len() == 2).then_some(x))
-            .collect()
+        self.unheard.iter().enumerate().filter_map(|(x, u)| (u.len() == 2).then_some(x)).collect()
     }
 }
 

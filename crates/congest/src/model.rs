@@ -156,7 +156,14 @@ impl Network {
         let rng = StdRng::seed_from_u64(config.seed);
         let max_id = graph.nodes().map(|x| graph.id_of(x)).max().unwrap_or(1);
         let id_bits = (bits_for_value(max_id) as u32).min(32);
-        Network { graph, forest: MarkedForest::new(), cost: CostTracker::new(), config, rng, id_bits }
+        Network {
+            graph,
+            forest: MarkedForest::new(),
+            cost: CostTracker::new(),
+            config,
+            rng,
+            id_bits,
+        }
     }
 
     /// Number of bits of the identifier space (capped at 32 so an edge number
@@ -369,7 +376,8 @@ mod tests {
     #[test]
     fn word_bits_scales_with_n_and_weights() {
         let mut rng = StdRng::seed_from_u64(9);
-        let small = Network::new(generators::connected_gnp(8, 0.3, 4, &mut rng), NetworkConfig::default());
+        let small =
+            Network::new(generators::connected_gnp(8, 0.3, 4, &mut rng), NetworkConfig::default());
         let large = Network::new(
             generators::connected_gnp(128, 0.05, 1 << 40, &mut rng),
             NetworkConfig::default(),

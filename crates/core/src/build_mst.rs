@@ -96,12 +96,7 @@ pub fn build_mst<R: Rng + ?Sized>(
         outcome.edges_marked += edges_added;
 
         let fragments_after = net.forest().fragment_representatives(net.graph()).len();
-        outcome.phases.push(PhaseReport {
-            phase,
-            fragments_before,
-            fragments_after,
-            edges_added,
-        });
+        outcome.phases.push(PhaseReport { phase, fragments_before, fragments_after, edges_added });
         debug_assert!(net.forest().validate(net.graph()).is_ok());
     }
 
@@ -217,7 +212,7 @@ mod tests {
         let m_dense = dense.edge_count() as f64;
         assert!(m_dense > 15.0 * m_sparse);
 
-        let mut run = |g: Graph, seed| {
+        let run = |g: Graph, seed| {
             let mut net = Network::new(g, NetworkConfig::default());
             let mut r = StdRng::seed_from_u64(seed);
             build_mst(&mut net, &cfg(), &mut r).unwrap();

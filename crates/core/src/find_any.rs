@@ -254,12 +254,7 @@ fn attempt<R: Rng + ?Sized>(
 ) -> Result<Option<FoundEdge>, CoreError> {
     let range = (2 * degree_bound.max(2)).next_power_of_two();
     let hash = PairwiseHash::random(range, rng);
-    let down = PrefixDown {
-        a: rng.gen::<u64>() | 1,
-        b: rng.gen(),
-        range,
-        interval,
-    };
+    let down = PrefixDown { a: rng.gen::<u64>() | 1, b: rng.gen(), range, interval };
     // Re-derive the hash actually broadcast (from_parts normalises `a`).
     let down = PrefixDown { a: down.a, b: down.b, range: hash.range().max(down.range), ..down };
     let word = run_broadcast_echo(net, root, PrefixParity { down })?;
@@ -274,9 +269,7 @@ fn attempt<R: Rng + ?Sized>(
     }
     let verify = VerifyCandidate::by_key(candidate, interval);
     match run_broadcast_echo(net, root, verify)? {
-        Some((number, _weight, endpoints)) if endpoints == 1 => {
-            Ok(Some(resolve_edge(net, number)?))
-        }
+        Some((number, _weight, 1)) => Ok(Some(resolve_edge(net, number)?)),
         _ => Ok(None),
     }
 }
@@ -437,11 +430,12 @@ mod tests {
     fn interval_restricted_search_respects_bounds() {
         // Two 3-node paths joined by a weight-5 and a weight-9 edge.
         let mut g = Graph::new(6);
-        let mut marked = Vec::new();
-        marked.push(g.add_edge(0, 1, 1).unwrap());
-        marked.push(g.add_edge(1, 2, 1).unwrap());
-        marked.push(g.add_edge(3, 4, 1).unwrap());
-        marked.push(g.add_edge(4, 5, 1).unwrap());
+        let marked = vec![
+            g.add_edge(0, 1, 1).unwrap(),
+            g.add_edge(1, 2, 1).unwrap(),
+            g.add_edge(3, 4, 1).unwrap(),
+            g.add_edge(4, 5, 1).unwrap(),
+        ];
         g.add_edge(2, 3, 5).unwrap();
         g.add_edge(0, 5, 9).unwrap();
         let mut net = Network::new(g, NetworkConfig::default());

@@ -132,9 +132,7 @@ fn identify(
     let key = (singleton.lo & ((1u128 << (2 * id_bits.clamp(1, 32))) - 1)) as u64;
     let verify = VerifyCandidate::by_key(key, singleton);
     match run_broadcast_echo(net, root, verify)? {
-        Some((number, _weight, endpoints)) if endpoints == 1 => {
-            Ok(FindMinOutcome::Found(resolve_edge(net, number)?))
-        }
+        Some((number, _weight, 1)) => Ok(FindMinOutcome::Found(resolve_edge(net, number)?)),
         _ => Ok(FindMinOutcome::BudgetExhausted),
     }
 }

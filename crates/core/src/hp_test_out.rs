@@ -190,18 +190,21 @@ mod tests {
     fn weight_interval_filters_the_cut() {
         // Two components joined by edges of weight 50 and 60 only.
         let mut g = Graph::new(6);
-        let mut marked = Vec::new();
-        marked.push(g.add_edge(0, 1, 1).unwrap());
-        marked.push(g.add_edge(1, 2, 2).unwrap());
-        marked.push(g.add_edge(3, 4, 3).unwrap());
-        marked.push(g.add_edge(4, 5, 4).unwrap());
+        let marked = vec![
+            g.add_edge(0, 1, 1).unwrap(),
+            g.add_edge(1, 2, 2).unwrap(),
+            g.add_edge(3, 4, 3).unwrap(),
+            g.add_edge(4, 5, 4).unwrap(),
+        ];
         g.add_edge(2, 3, 50).unwrap();
         g.add_edge(0, 5, 60).unwrap();
         let mut net = Network::new(g, NetworkConfig::default());
         net.mark_all(&marked);
         let id_bits = net.id_bits();
         let mut rng = StdRng::seed_from_u64(6);
-        assert!(!hp_test_out(&mut net, 0, WeightInterval::up_to_raw(49, id_bits), &mut rng).unwrap());
+        assert!(
+            !hp_test_out(&mut net, 0, WeightInterval::up_to_raw(49, id_bits), &mut rng).unwrap()
+        );
         assert!(hp_test_out(&mut net, 0, WeightInterval::up_to_raw(55, id_bits), &mut rng).unwrap());
         assert!(hp_test_out(&mut net, 0, WeightInterval::everything(), &mut rng).unwrap());
         // An interval covering only the heavier cut edge.

@@ -66,7 +66,7 @@ pub use error::CoreError;
 pub use find_any::{find_any, find_any_c};
 pub use find_min::{find_min, find_min_c, find_min_traced, FindMinOutcome, FindMinTrace};
 pub use hp_test_out::hp_test_out;
-pub use maintained::{MaintainOptions, MaintainedForest, TreeKind};
+pub use maintained::{MaintainOptions, MaintainedForest, TreeKind, UpdateOutcome};
 pub use repair::{
     decrease_weight_mst, delete_edge_mst, delete_edge_st, increase_weight_mst, insert_edge_mst,
     insert_edge_st, DeleteOutcome, InsertOutcome,

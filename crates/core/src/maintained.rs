@@ -30,6 +30,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use kkt_congest::{CostReport, Network, NetworkConfig, Scheduler};
+use kkt_graphs::generators::Update;
 use kkt_graphs::{EdgeId, Graph, NodeId, SpanningForest, Weight};
 
 use crate::build_mst::{build_mst, BuildOutcome};
@@ -72,6 +73,17 @@ impl Default for MaintainOptions {
             seed: 0x5EED,
         }
     }
+}
+
+/// Outcome of one update applied through [`MaintainedForest::apply_update`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateOutcome {
+    /// The update was a deletion.
+    Deleted(DeleteOutcome),
+    /// The update was an insertion.
+    Inserted(InsertOutcome),
+    /// The update was a weight change.
+    Reweighted,
 }
 
 /// A spanning forest maintained over a dynamic network by the
@@ -229,33 +241,63 @@ impl MaintainedForest {
         v: NodeId,
         new_weight: Weight,
     ) -> Result<(), CoreError> {
-        let edge = self
-            .net
-            .graph()
-            .edge_between(u, v)
-            .ok_or(CoreError::NoSuchEdge { u, v })?;
+        let edge = self.net.graph().edge_between(u, v).ok_or(CoreError::NoSuchEdge { u, v })?;
         let old = self.net.graph().edge(edge).weight;
         match self.kind {
             TreeKind::St => {
                 self.net.change_weight(u, v, new_weight);
                 Ok(())
             }
-            TreeKind::Mst if new_weight >= old => {
-                increase_weight_mst(
-                    &mut self.net,
-                    u,
-                    v,
-                    new_weight,
-                    &self.options.config,
-                    &mut self.rng,
-                )
-                .map(|_| ())
-            }
+            TreeKind::Mst if new_weight >= old => increase_weight_mst(
+                &mut self.net,
+                u,
+                v,
+                new_weight,
+                &self.options.config,
+                &mut self.rng,
+            )
+            .map(|_| ()),
             TreeKind::Mst => {
                 decrease_weight_mst(&mut self.net, u, v, new_weight, &self.options.config)
                     .map(|_| ())
             }
         }
+    }
+
+    /// Applies one dynamic update, dispatching on its kind.
+    ///
+    /// This is the hinge the scenario-replay subsystem (`kkt-workloads`)
+    /// drives: a [`Update`] names the operation, the forest picks the right
+    /// impromptu repair. Both weight-change variants route through
+    /// [`MaintainedForest::change_weight`], which itself distinguishes
+    /// increases from decreases against the *current* weight — so a stale
+    /// variant label in a pre-generated trace cannot corrupt the tree.
+    pub fn apply_update(&mut self, update: &Update) -> Result<UpdateOutcome, CoreError> {
+        match *update {
+            Update::Delete { u, v } => self.delete_edge(u, v).map(UpdateOutcome::Deleted),
+            Update::Insert { u, v, weight } => {
+                self.insert_edge(u, v, weight).map(UpdateOutcome::Inserted)
+            }
+            Update::IncreaseWeight { u, v, weight } | Update::DecreaseWeight { u, v, weight } => {
+                self.change_weight(u, v, weight).map(|()| UpdateOutcome::Reweighted)
+            }
+        }
+    }
+
+    /// Applies a batch of updates back-to-back (a "burst": the repairs run
+    /// sequentially, with no verification or bookkeeping between them) and
+    /// returns the per-update outcomes.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing update; previously applied updates of the
+    /// batch remain applied.
+    pub fn apply_batch(&mut self, updates: &[Update]) -> Result<Vec<UpdateOutcome>, CoreError> {
+        let mut outcomes = Vec::with_capacity(updates.len());
+        for update in updates {
+            outcomes.push(self.apply_update(update)?);
+        }
+        Ok(outcomes)
     }
 
     /// Verifies the maintained forest against the sequential oracle: it must
@@ -304,7 +346,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let g = generators::connected_gnp(20, 0.3, 100, &mut rng);
         let mst = kkt_graphs::kruskal(&g);
-        let forest = MaintainedForest::adopt(g.clone(), TreeKind::Mst, &mst.edges, options(6)).unwrap();
+        let forest =
+            MaintainedForest::adopt(g.clone(), TreeKind::Mst, &mst.edges, options(6)).unwrap();
         forest.verify().unwrap();
         assert_eq!(forest.build_cost().messages, 0);
         // A cyclic marking is rejected.
@@ -369,6 +412,49 @@ mod tests {
             forest.change_weight(u, v, rng.gen_range(1..400)).unwrap();
             forest.verify().unwrap();
         }
+    }
+
+    #[test]
+    fn apply_batch_matches_individual_updates() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let g = generators::connected_gnp(24, 0.3, 200, &mut rng);
+        let updates = generators::random_update_stream(&g, 12, 200, 0.5, &mut rng);
+
+        let mut one_by_one =
+            MaintainedForest::build(g.clone(), TreeKind::Mst, options(22)).unwrap();
+        for u in &updates {
+            one_by_one.apply_update(u).unwrap();
+            one_by_one.verify().unwrap();
+        }
+
+        let mut batched = MaintainedForest::build(g, TreeKind::Mst, options(22)).unwrap();
+        let outcomes = batched.apply_batch(&updates).unwrap();
+        assert_eq!(outcomes.len(), updates.len());
+        batched.verify().unwrap();
+        assert_eq!(batched.snapshot(), one_by_one.snapshot());
+    }
+
+    #[test]
+    fn apply_update_reports_outcome_kinds() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let g = generators::connected_gnp(16, 0.4, 100, &mut rng);
+        let mut forest = MaintainedForest::build(g, TreeKind::Mst, options(24)).unwrap();
+        let e = forest.tree_edges()[0];
+        let (u, v) = forest.endpoints(e);
+        let w = forest.network().graph().edge(e).weight;
+        assert!(matches!(
+            forest.apply_update(&Update::Delete { u, v }).unwrap(),
+            UpdateOutcome::Deleted(_)
+        ));
+        assert!(matches!(
+            forest.apply_update(&Update::Insert { u, v, weight: w }).unwrap(),
+            UpdateOutcome::Inserted(_)
+        ));
+        assert!(matches!(
+            forest.apply_update(&Update::IncreaseWeight { u, v, weight: w + 1 }).unwrap(),
+            UpdateOutcome::Reweighted
+        ));
+        forest.verify().unwrap();
     }
 
     #[test]

@@ -114,7 +114,11 @@ impl TreeAggregate for PathQuery {
             PathQueryUp {
                 found: true,
                 max_weight: acc.max_weight.max(child.max_weight),
-                max_edge: if child.max_weight >= acc.max_weight { child.max_edge } else { acc.max_edge },
+                max_edge: if child.max_weight >= acc.max_weight {
+                    child.max_edge
+                } else {
+                    acc.max_edge
+                },
             }
         } else {
             acc
@@ -253,7 +257,9 @@ fn repair_cut_mst<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<DeleteOutcome, CoreError> {
     match find_min(net, root, config, rng)? {
-        FindMinOutcome::NoLeavingEdge | FindMinOutcome::BudgetExhausted => Ok(DeleteOutcome::Bridge),
+        FindMinOutcome::NoLeavingEdge | FindMinOutcome::BudgetExhausted => {
+            Ok(DeleteOutcome::Bridge)
+        }
         FindMinOutcome::Found(found) => {
             // Announce the replacement through the initiator's tree and
             // forward it across the new edge (one extra message), then mark.
@@ -559,11 +565,8 @@ mod tests {
             increase_weight_mst(&mut net, e.u, e.v, 400_000, &cfg(), &mut rng).unwrap();
             verify_mst(net.graph(), &net.marked_forest_snapshot()).unwrap();
             // Decrease a non-tree edge's weight to (almost) nothing.
-            let non_tree: Vec<kkt_graphs::EdgeId> = net
-                .graph()
-                .live_edges()
-                .filter(|&x| !net.forest().is_marked(x))
-                .collect();
+            let non_tree: Vec<kkt_graphs::EdgeId> =
+                net.graph().live_edges().filter(|&x| !net.forest().is_marked(x)).collect();
             if let Some(&non_tree) = non_tree.first() {
                 let e = *net.graph().edge(non_tree);
                 decrease_weight_mst(&mut net, e.u, e.v, 1, &cfg()).unwrap();

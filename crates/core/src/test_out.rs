@@ -289,9 +289,7 @@ mod tests {
         }
         // Interval covering the cut weights: detected with constant probability.
         let all = WeightInterval::up_to_raw(20, id_bits);
-        let hits = (0..300)
-            .filter(|_| test_out(&mut net, 0, all, &mut rng).unwrap())
-            .count();
+        let hits = (0..300).filter(|_| test_out(&mut net, 0, all, &mut rng).unwrap()).count();
         assert!(hits > 20);
     }
 

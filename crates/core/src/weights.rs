@@ -71,7 +71,10 @@ impl WeightInterval {
     /// identifier space of `id_bits` bits.
     pub fn up_to_raw(max_weight: Weight, id_bits: u32) -> Self {
         let bits = id_bits.clamp(1, 32);
-        WeightInterval { lo: 0, hi: ((max_weight as u128) << (2 * bits)) | ((1u128 << (2 * bits)) - 1) }
+        WeightInterval {
+            lo: 0,
+            hi: ((max_weight as u128) << (2 * bits)) | ((1u128 << (2 * bits)) - 1),
+        }
     }
 
     /// An interval from explicit bounds (swapping if necessary).
@@ -106,7 +109,7 @@ impl WeightInterval {
         let parts = parts.max(1) as u128;
         let width = self.width();
         // Ceiling division without overflowing near u128::MAX.
-        let chunk = (width / parts + if width % parts == 0 { 0 } else { 1 }).max(1);
+        let chunk = (width / parts + if width.is_multiple_of(parts) { 0 } else { 1 }).max(1);
         let mut out = Vec::new();
         let mut lo = self.lo;
         for part in 0..parts {
@@ -115,11 +118,8 @@ impl WeightInterval {
             }
             // The last piece always extends to the upper bound, which also
             // absorbs the rounding slack of the saturated width computation.
-            let hi = if part + 1 == parts {
-                self.hi
-            } else {
-                lo.saturating_add(chunk - 1).min(self.hi)
-            };
+            let hi =
+                if part + 1 == parts { self.hi } else { lo.saturating_add(chunk - 1).min(self.hi) };
             out.push(WeightInterval { lo, hi });
             if hi == self.hi {
                 break;

@@ -71,12 +71,7 @@ pub fn connected_gnp<R: Rng>(n: usize, p: f64, max_weight: Weight, rng: &mut R) 
 /// A connected graph with (approximately) a target number of edges `m`,
 /// built as a random tree plus `m - (n-1)` uniformly random extra edges.
 /// Used for the density sweeps (experiment E8).
-pub fn connected_with_edges<R: Rng>(
-    n: usize,
-    m: usize,
-    max_weight: Weight,
-    rng: &mut R,
-) -> Graph {
+pub fn connected_with_edges<R: Rng>(n: usize, m: usize, max_weight: Weight, rng: &mut R) -> Graph {
     let mut g = random_tree(n, max_weight, rng);
     let max_edges = n * (n - 1) / 2;
     let target = m.min(max_edges);
@@ -118,7 +113,13 @@ pub fn ring<R: Rng>(n: usize, max_weight: Weight, rng: &mut R) -> Graph {
 }
 
 /// A `rows × cols` grid (torus = false) or torus (torus = true).
-pub fn grid<R: Rng>(rows: usize, cols: usize, torus: bool, max_weight: Weight, rng: &mut R) -> Graph {
+pub fn grid<R: Rng>(
+    rows: usize,
+    cols: usize,
+    torus: bool,
+    max_weight: Weight,
+    rng: &mut R,
+) -> Graph {
     let n = rows * cols;
     let mut g = Graph::new(n);
     let idx = |r: usize, c: usize| r * cols + c;
@@ -227,15 +228,10 @@ pub fn random_update_stream<R: Rng>(
         if delete && shadow.edge_count() > shadow.node_count() {
             let forest = crate::mst::kruskal(&shadow);
             let from_tree = rng.gen_bool(tree_bias.clamp(0.0, 1.0));
-            let candidates: Vec<_> = shadow
-                .live_edges()
-                .filter(|&e| forest.contains(e) == from_tree)
-                .collect();
-            let pool: Vec<_> = if candidates.is_empty() {
-                shadow.live_edges().collect()
-            } else {
-                candidates
-            };
+            let candidates: Vec<_> =
+                shadow.live_edges().filter(|&e| forest.contains(e) == from_tree).collect();
+            let pool: Vec<_> =
+                if candidates.is_empty() { shadow.live_edges().collect() } else { candidates };
             let e = pool[rng.gen_range(0..pool.len())];
             let edge = *shadow.edge(e);
             shadow.remove_edge(edge.u, edge.v);

@@ -153,8 +153,7 @@ impl Graph {
         if !self.present.remove(&key) {
             return None;
         }
-        let id = self
-            .adjacency[u]
+        let id = self.adjacency[u]
             .iter()
             .copied()
             .find(|&e| self.alive[e.0] && self.edges[e.0].is_endpoint(v))?;
@@ -228,10 +227,7 @@ impl Graph {
 
     /// Maximum edge number over live edges incident to the given node set.
     pub fn max_edge_number(&self) -> EdgeNumber {
-        self.live_edges()
-            .map(|e| self.edge_number(e))
-            .max()
-            .unwrap_or(EdgeNumber::from_ids(1, 2))
+        self.live_edges().map(|e| self.edge_number(e)).max().unwrap_or(EdgeNumber::from_ids(1, 2))
     }
 
     /// Whether the graph (restricted to live edges) is connected.

@@ -49,11 +49,7 @@ pub fn tree_eccentricity(g: &Graph, marked: &[EdgeId], root: NodeId) -> usize {
 /// node from an arbitrary start is an endpoint of a diameter).
 pub fn tree_diameter(g: &Graph, marked: &[EdgeId], any_node: NodeId) -> usize {
     let t1 = root_tree(g, marked, any_node);
-    let far = *t1
-        .order
-        .iter()
-        .max_by_key(|&&x| t1.depth[x])
-        .unwrap_or(&any_node);
+    let far = *t1.order.iter().max_by_key(|&&x| t1.depth[x]).unwrap_or(&any_node);
     root_tree(g, marked, far).height()
 }
 

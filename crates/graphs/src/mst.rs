@@ -253,10 +253,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let g = generators::connected_gnp(20, 0.3, 1000, &mut rng);
         let side: Vec<bool> = (0..20).map(|i| i % 3 == 0).collect();
-        let expected = g
-            .cut(&side)
-            .into_iter()
-            .min_by_key(|&e| g.unique_weight(e));
+        let expected = g.cut(&side).into_iter().min_by_key(|&e| g.unique_weight(e));
         assert_eq!(min_cut_edge(&g, &side), expected);
     }
 

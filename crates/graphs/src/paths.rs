@@ -248,7 +248,7 @@ mod tests {
         for &e in f.edges.iter().take(10) {
             let side = split_by_edge(&g, &t, e);
             let true_count = side.iter().filter(|&&b| b).count();
-            assert!(true_count >= 1 && true_count <= 39);
+            assert!((1..=39).contains(&true_count));
             // The removed edge crosses the split.
             let edge = g.edge(e);
             assert_ne!(side[edge.u], side[edge.v]);

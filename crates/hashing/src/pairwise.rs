@@ -160,9 +160,8 @@ mod tests {
             let mut isolated = 0;
             for _ in 0..trials {
                 let h = PairwiseHash::random(r, &mut rng);
-                let found = (0..=h.levels()).any(|level| {
-                    set.iter().filter(|&&x| h.in_prefix(x, level)).count() == 1
-                });
+                let found = (0..=h.levels())
+                    .any(|level| set.iter().filter(|&&x| h.in_prefix(x, level)).count() == 1);
                 if found {
                     isolated += 1;
                 }

@@ -21,14 +21,14 @@ pub fn is_prime(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
     // Write n-1 = d * 2^r with d odd.
     let mut d = n - 1;
     let mut r = 0u32;
-    while d % 2 == 0 {
+    while d.is_multiple_of(2) {
         d /= 2;
         r += 1;
     }
@@ -56,14 +56,16 @@ pub fn is_prime(n: u64) -> bool {
 /// `lower ≤ 2^64 - 59`, far beyond anything the protocols request).
 pub fn next_prime_at_least(lower: u64) -> u64 {
     let mut candidate = lower.max(2);
-    if candidate > 2 && candidate % 2 == 0 {
+    if candidate > 2 && candidate.is_multiple_of(2) {
         candidate += 1;
     }
     loop {
         if is_prime(candidate) {
             return candidate;
         }
-        candidate = candidate.checked_add(if candidate == 2 { 1 } else { 2 }).expect("no u64 prime found above the requested bound");
+        candidate = candidate
+            .checked_add(if candidate == 2 { 1 } else { 2 })
+            .expect("no u64 prime found above the requested bound");
     }
 }
 

@@ -1,0 +1,49 @@
+//! Deterministic fingerprinting of traces and reports.
+//!
+//! A fingerprint is the 64-bit FNV-1a hash of a canonical JSON encoding,
+//! rendered as 16 lowercase hex digits. FNV-1a is not cryptographic — the
+//! point is a *stable, dependency-free* checksum that changes whenever the
+//! underlying data changes, so "same seed ⇒ byte-identical report" is
+//! checkable at a glance (and in tests) without diffing whole documents.
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+/// 64-bit FNV-1a over raw bytes.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// FNV-1a of a string, as 16 hex digits.
+pub fn fingerprint_hex(text: &str) -> String {
+    format!("{:016x}", fnv1a64(text.as_bytes()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn hex_is_fixed_width() {
+        assert_eq!(fingerprint_hex("").len(), 16);
+        assert_eq!(fingerprint_hex(""), "cbf29ce484222325");
+    }
+
+    #[test]
+    fn small_changes_change_the_fingerprint() {
+        assert_ne!(fingerprint_hex("{\"a\":1}"), fingerprint_hex("{\"a\":2}"));
+    }
+}

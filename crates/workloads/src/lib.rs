@@ -1,0 +1,61 @@
+//! # kkt-workloads — deterministic dynamic-network scenario engine
+//!
+//! The paper's headline contribution is *impromptu repair*: after an edge
+//! deletion or insertion the MST is fixed with `Õ(n)` communication instead
+//! of being rebuilt. The interesting workloads are therefore long
+//! **sequences** of topology changes. This crate expresses them:
+//!
+//! * **Traces** — [`Workload`] is a named, seeded sequence of
+//!   [`WorkloadEvent`]s (deletions, insertions, weight changes, and batched
+//!   [`WorkloadEvent::Burst`]s), validated against the base graph and
+//!   fingerprinted so the same seed always yields a byte-identical trace.
+//! * **Scenario generators** — composable [`Scenario`] implementations:
+//!   memoryless [`PoissonChurn`], MST-severing [`AdversarialTreeCut`],
+//!   partition-and-heal failure bursts ([`PartitionHeal`]), hot-edge
+//!   [`WeightDrift`], and sequential [`MixedPhases`] lifecycles.
+//! * **Replay** — [`ReplayHarness`] drives a trace through a
+//!   [`MaintenancePolicy`]: the paper's impromptu repairs on a
+//!   [`kkt_core::MaintainedForest`], or rebuild-from-scratch baselines
+//!   (`Build MST` rerun, GHS, flooding), under synchronous or random-async
+//!   delivery, verifying against the sequential Kruskal oracle at
+//!   checkpoints.
+//! * **Reports** — per-event and cumulative [`ReplayReport`]s, and the
+//!   multi-scenario [`ChurnSuiteReport`] the `exp9_churn_policies` binary
+//!   serialises as deterministic JSON.
+//!
+//! # Example
+//!
+//! ```rust
+//! use kkt_workloads::{MaintenancePolicy, PoissonChurn, ReplayHarness, Scenario};
+//! use kkt_graphs::generators;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let base = generators::connected_gnp(24, 0.25, 500, &mut rng);
+//!
+//! let workload = PoissonChurn::default().generate(&base, 8, 42);
+//! assert_eq!(workload.fingerprint(), PoissonChurn::default().generate(&base, 8, 42).fingerprint());
+//!
+//! let harness = ReplayHarness::default();
+//! let report = harness.replay(&base, &workload, MaintenancePolicy::Impromptu).unwrap();
+//! assert_eq!(report.checkpoints_verified, workload.len());
+//! ```
+
+pub mod event;
+pub mod fingerprint;
+pub mod replay;
+pub mod report;
+pub mod scenarios;
+pub mod suite;
+pub mod workload;
+
+pub use event::WorkloadEvent;
+pub use fingerprint::{fingerprint_hex, fnv1a64};
+pub use replay::{MaintenancePolicy, ReplayConfig, ReplayError, ReplayHarness};
+pub use report::{ChurnSuiteReport, EventCost, ReplayReport, ScenarioComparison};
+pub use scenarios::{
+    standard_suite, AdversarialTreeCut, MixedPhases, PartitionHeal, PoissonChurn, Scenario,
+    WeightDrift,
+};
+pub use suite::{run_churn_suite, SuiteParams};
+pub use workload::{Workload, WorkloadStats};

@@ -1,0 +1,474 @@
+//! The replay harness: drives a [`Workload`] through a maintenance policy
+//! on the simulated network, verifying against the sequential oracle at
+//! checkpoints and accounting every bit.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use kkt_baselines::{build_mst_ghs, build_st_by_flooding};
+use kkt_congest::{CongestError, CostReport, Network, NetworkConfig, Scheduler};
+use kkt_core::{
+    build_mst, build_st, CoreError, KktConfig, MaintainOptions, MaintainedForest, TreeKind,
+};
+use kkt_graphs::generators::Update;
+use kkt_graphs::{verify_mst, verify_spanning_forest, Graph};
+
+use crate::event::WorkloadEvent;
+use crate::report::{scheduler_label, ReplayReport};
+use crate::workload::Workload;
+
+/// How the spanning structure is kept correct while the trace plays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaintenancePolicy {
+    /// The paper's impromptu repairs through [`MaintainedForest`] —
+    /// `Õ(n)` communication per update.
+    Impromptu,
+    /// Rebuild from scratch with the paper's own `Build MST`/`Build ST`
+    /// after every top-level event (bursts trigger one rebuild).
+    RebuildKkt,
+    /// Rebuild with the GHS-style baseline after every top-level event
+    /// (MST only; GHS is inherently synchronous).
+    RebuildGhs,
+    /// Rebuild a spanning forest by flooding from one root per component
+    /// after every top-level event (ST only; the Θ(m) folk-theorem bound).
+    RebuildFlood,
+}
+
+impl MaintenancePolicy {
+    /// Stable label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            MaintenancePolicy::Impromptu => "impromptu_repair",
+            MaintenancePolicy::RebuildKkt => "rebuild_kkt",
+            MaintenancePolicy::RebuildGhs => "rebuild_ghs",
+            MaintenancePolicy::RebuildFlood => "rebuild_flood",
+        }
+    }
+
+    /// Whether the policy can maintain the given structure kind.
+    pub fn supports(self, kind: TreeKind) -> bool {
+        match self {
+            MaintenancePolicy::Impromptu | MaintenancePolicy::RebuildKkt => true,
+            MaintenancePolicy::RebuildGhs => kind == TreeKind::Mst,
+            MaintenancePolicy::RebuildFlood => kind == TreeKind::St,
+        }
+    }
+
+    /// The policies applicable to `kind`, impromptu first.
+    pub fn all_for(kind: TreeKind) -> Vec<MaintenancePolicy> {
+        [
+            MaintenancePolicy::Impromptu,
+            MaintenancePolicy::RebuildKkt,
+            MaintenancePolicy::RebuildGhs,
+            MaintenancePolicy::RebuildFlood,
+        ]
+        .into_iter()
+        .filter(|p| p.supports(kind))
+        .collect()
+    }
+}
+
+/// Configuration of one replay run.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayConfig {
+    /// Which structure is maintained (and which oracle verifies it).
+    pub kind: TreeKind,
+    /// Delivery model for repairs and (where the algorithm tolerates it)
+    /// rebuilds. GHS rebuilds always run synchronously — the baseline is
+    /// defined in lock-step rounds.
+    pub scheduler: Scheduler,
+    /// Verify against the sequential oracle every `k` top-level events
+    /// (`0` = only after the final event). Every run verifies at the end.
+    pub verify_every: usize,
+    /// Master seed: all protocol coins and delivery delays derive from it.
+    pub seed: u64,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        ReplayConfig {
+            kind: TreeKind::Mst,
+            scheduler: Scheduler::RandomAsync { max_delay: 8 },
+            verify_every: 1,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Errors of the replay harness.
+#[derive(Debug)]
+pub enum ReplayError {
+    /// The policy cannot maintain the requested structure kind.
+    UnsupportedPolicy {
+        /// The rejected policy label.
+        policy: &'static str,
+        /// The requested kind.
+        kind: TreeKind,
+    },
+    /// The trace is not applicable to the base graph.
+    InvalidTrace(String),
+    /// A repair algorithm failed.
+    Core(CoreError),
+    /// A baseline failed.
+    Congest(CongestError),
+    /// The maintained structure diverged from the sequential oracle.
+    OracleMismatch {
+        /// Index of the top-level event after which verification failed.
+        event: usize,
+        /// The oracle's explanation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::UnsupportedPolicy { policy, kind } => {
+                write!(f, "policy {policy} cannot maintain a {kind:?}")
+            }
+            ReplayError::InvalidTrace(msg) => write!(f, "invalid trace: {msg}"),
+            ReplayError::Core(e) => write!(f, "repair failed: {e}"),
+            ReplayError::Congest(e) => write!(f, "baseline failed: {e}"),
+            ReplayError::OracleMismatch { event, detail } => {
+                write!(f, "oracle mismatch after event {event}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+impl From<CoreError> for ReplayError {
+    fn from(e: CoreError) -> Self {
+        ReplayError::Core(e)
+    }
+}
+
+impl From<CongestError> for ReplayError {
+    fn from(e: CongestError) -> Self {
+        ReplayError::Congest(e)
+    }
+}
+
+/// Replays workloads under a [`ReplayConfig`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReplayHarness {
+    /// The run configuration.
+    pub config: ReplayConfig,
+}
+
+impl ReplayHarness {
+    /// A harness with the given configuration.
+    pub fn new(config: ReplayConfig) -> Self {
+        ReplayHarness { config }
+    }
+
+    /// Whether verification is due after top-level event `i` of `total`.
+    fn checkpoint_due(&self, i: usize, total: usize) -> bool {
+        let last = i + 1 == total;
+        match self.config.verify_every {
+            0 => last,
+            k => last || (i + 1).is_multiple_of(k),
+        }
+    }
+
+    /// Replays `workload` over `base` under `policy`, returning the
+    /// per-event and cumulative cost report.
+    ///
+    /// # Errors
+    ///
+    /// See [`ReplayError`]; in particular every checkpoint compares against
+    /// the sequential Kruskal oracle and fails loudly on divergence.
+    pub fn replay(
+        &self,
+        base: &Graph,
+        workload: &Workload,
+        policy: MaintenancePolicy,
+    ) -> Result<ReplayReport, ReplayError> {
+        if !policy.supports(self.config.kind) {
+            return Err(ReplayError::UnsupportedPolicy {
+                policy: policy.label(),
+                kind: self.config.kind,
+            });
+        }
+        workload.check_applicable(base).map_err(ReplayError::InvalidTrace)?;
+        match policy {
+            MaintenancePolicy::Impromptu => self.replay_impromptu(base, workload),
+            _ => self.replay_rebuild(base, workload, policy),
+        }
+    }
+
+    fn report_skeleton(
+        &self,
+        base: &Graph,
+        workload: &Workload,
+        policy: MaintenancePolicy,
+    ) -> ReplayReport {
+        ReplayReport {
+            scenario: workload.scenario.clone(),
+            workload_name: workload.name.clone(),
+            workload_fingerprint: workload.fingerprint(),
+            policy: policy.label().to_string(),
+            tree_kind: match self.config.kind {
+                TreeKind::Mst => "mst".to_string(),
+                TreeKind::St => "st".to_string(),
+            },
+            scheduler: scheduler_label(self.config.scheduler),
+            n: base.node_count(),
+            m_initial: base.edge_count(),
+            top_level_events: workload.len(),
+            primitive_events: workload.primitive_count(),
+            build: CostReport::default(),
+            per_event: Vec::new(),
+            total: CostReport::default(),
+            mean_messages_per_event: 0.0,
+            max_messages_per_event: 0,
+            checkpoints_verified: 0,
+        }
+    }
+
+    // -- impromptu ---------------------------------------------------------
+
+    fn replay_impromptu(
+        &self,
+        base: &Graph,
+        workload: &Workload,
+    ) -> Result<ReplayReport, ReplayError> {
+        let options = MaintainOptions {
+            config: KktConfig::default(),
+            build_scheduler: Scheduler::Synchronous,
+            repair_scheduler: self.config.scheduler,
+            seed: self.config.seed,
+        };
+        let mut forest = MaintainedForest::build(base.clone(), self.config.kind, options)?;
+        let mut report = self.report_skeleton(base, workload, MaintenancePolicy::Impromptu);
+        report.build = forest.build_cost();
+
+        // The shadow tracks the evolving topology so weight-change events
+        // convert to the right Update direction even inside bursts.
+        let mut shadow = base.clone();
+        let total = workload.len();
+        for (i, event) in workload.events.iter().enumerate() {
+            let updates =
+                primitives_as_updates(event, &mut shadow).map_err(ReplayError::InvalidTrace)?;
+            let before = forest.cost();
+            forest.apply_batch(&updates)?;
+            let delta = forest.cost() - before;
+            report.push_event(i, event.kind(), delta);
+            if self.checkpoint_due(i, total) {
+                forest
+                    .verify()
+                    .map_err(|detail| ReplayError::OracleMismatch { event: i, detail })?;
+                report.checkpoints_verified += 1;
+            }
+        }
+        report.finalize();
+        Ok(report)
+    }
+
+    // -- rebuild policies --------------------------------------------------
+
+    fn rebuild(
+        &self,
+        graph: &Graph,
+        policy: MaintenancePolicy,
+        step: usize,
+    ) -> Result<(Network, CostReport), ReplayError> {
+        // Each rebuild runs on a fresh network whose seed mixes the step in,
+        // deterministically: the same trace always costs the same.
+        let seed = self.config.seed ^ (step as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let scheduler = match policy {
+            // GHS is specified in synchronous rounds; the others are
+            // broadcast-echo/flooding cascades that tolerate any delivery.
+            MaintenancePolicy::RebuildGhs => Scheduler::Synchronous,
+            _ => self.config.scheduler,
+        };
+        let mut net = Network::new(
+            graph.clone(),
+            NetworkConfig { scheduler, seed, ..NetworkConfig::default() },
+        );
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD15E_A5E0);
+        match (policy, self.config.kind) {
+            (MaintenancePolicy::RebuildKkt, TreeKind::Mst) => {
+                build_mst(&mut net, &KktConfig::default(), &mut rng)?;
+            }
+            (MaintenancePolicy::RebuildKkt, TreeKind::St) => {
+                build_st(&mut net, &KktConfig::default(), &mut rng)?;
+            }
+            (MaintenancePolicy::RebuildGhs, _) => {
+                build_mst_ghs(&mut net);
+            }
+            (MaintenancePolicy::RebuildFlood, _) => {
+                // Flood from one representative per component: flooding only
+                // spans the root's component, and partition scenarios really
+                // do disconnect the network.
+                for root in component_representatives(graph) {
+                    build_st_by_flooding(&mut net, root)?;
+                }
+            }
+            (MaintenancePolicy::Impromptu, _) => unreachable!("handled by replay_impromptu"),
+        }
+        let cost = net.cost();
+        Ok((net, cost))
+    }
+
+    fn verify_network(&self, net: &Network, event: usize) -> Result<(), ReplayError> {
+        let snapshot = net.marked_forest_snapshot();
+        let result = match self.config.kind {
+            TreeKind::Mst => verify_mst(net.graph(), &snapshot),
+            TreeKind::St => verify_spanning_forest(net.graph(), &snapshot),
+        };
+        result.map_err(|detail| ReplayError::OracleMismatch { event, detail })
+    }
+
+    fn replay_rebuild(
+        &self,
+        base: &Graph,
+        workload: &Workload,
+        policy: MaintenancePolicy,
+    ) -> Result<ReplayReport, ReplayError> {
+        let mut report = self.report_skeleton(base, workload, policy);
+        let mut graph = base.clone();
+        let (_, build_cost) = self.rebuild(&graph, policy, usize::MAX)?;
+        report.build = build_cost;
+
+        let total = workload.len();
+        for (i, event) in workload.events.iter().enumerate() {
+            event.apply_to_graph(&mut graph).map_err(ReplayError::InvalidTrace)?;
+            let (net, cost) = self.rebuild(&graph, policy, i)?;
+            report.push_event(i, event.kind(), cost);
+            if self.checkpoint_due(i, total) {
+                self.verify_network(&net, i)?;
+                report.checkpoints_verified += 1;
+            }
+        }
+        report.finalize();
+        Ok(report)
+    }
+}
+
+/// Flattens a top-level event into `Update`s against (and applied to) the
+/// evolving shadow graph.
+fn primitives_as_updates(event: &WorkloadEvent, shadow: &mut Graph) -> Result<Vec<Update>, String> {
+    let mut updates = Vec::new();
+    for primitive in event.primitives() {
+        let update = primitive
+            .as_update(shadow)
+            .ok_or_else(|| format!("inapplicable event {primitive:?}"))?;
+        primitive.apply_to_graph(shadow)?;
+        updates.push(update);
+    }
+    Ok(updates)
+}
+
+/// The smallest node of every connected component.
+fn component_representatives(g: &Graph) -> Vec<usize> {
+    let n = g.node_count();
+    let mut seen = vec![false; n];
+    let mut reps = Vec::new();
+    for s in 0..n {
+        if seen[s] {
+            continue;
+        }
+        reps.push(s);
+        let mut stack = vec![s];
+        seen[s] = true;
+        while let Some(x) = stack.pop() {
+            for e in g.incident(x) {
+                let y = g.edge(e).other(x);
+                if !seen[y] {
+                    seen[y] = true;
+                    stack.push(y);
+                }
+            }
+        }
+    }
+    reps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::{PartitionHeal, PoissonChurn, Scenario};
+    use kkt_graphs::generators;
+
+    fn base(seed: u64) -> Graph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generators::connected_gnp(20, 0.3, 300, &mut rng)
+    }
+
+    #[test]
+    fn impromptu_replay_verifies_and_accounts() {
+        let g = base(1);
+        let w = PoissonChurn::default().generate(&g, 10, 5);
+        let harness = ReplayHarness::default();
+        let report = harness.replay(&g, &w, MaintenancePolicy::Impromptu).unwrap();
+        assert_eq!(report.per_event.len(), w.len());
+        assert_eq!(report.checkpoints_verified, w.len());
+        assert!(report.total.messages > 0);
+        assert!(report.build.messages > 0);
+        assert_eq!(report.policy, "impromptu_repair");
+    }
+
+    #[test]
+    fn rebuild_policies_verify_too() {
+        let g = base(2);
+        let w = PoissonChurn::default().generate(&g, 4, 6);
+        let harness = ReplayHarness::default();
+        for policy in [MaintenancePolicy::RebuildKkt, MaintenancePolicy::RebuildGhs] {
+            let report = harness.replay(&g, &w, policy).unwrap();
+            assert_eq!(report.checkpoints_verified, w.len());
+            assert!(report.total.messages > 0, "{}", policy.label());
+        }
+    }
+
+    #[test]
+    fn st_flood_policy_handles_partitions() {
+        let g = base(3);
+        let w = PartitionHeal::default().generate(&g, 4, 7);
+        let harness =
+            ReplayHarness::new(ReplayConfig { kind: TreeKind::St, ..ReplayConfig::default() });
+        for policy in [MaintenancePolicy::Impromptu, MaintenancePolicy::RebuildFlood] {
+            let report = harness.replay(&g, &w, policy).unwrap();
+            assert_eq!(report.checkpoints_verified, w.len(), "{}", policy.label());
+        }
+    }
+
+    #[test]
+    fn unsupported_policy_is_rejected() {
+        let g = base(4);
+        let w = PoissonChurn::default().generate(&g, 2, 8);
+        let harness = ReplayHarness::default(); // MST
+        assert!(matches!(
+            harness.replay(&g, &w, MaintenancePolicy::RebuildFlood),
+            Err(ReplayError::UnsupportedPolicy { .. })
+        ));
+        assert!(!MaintenancePolicy::RebuildGhs.supports(TreeKind::St));
+        assert_eq!(MaintenancePolicy::all_for(TreeKind::Mst).len(), 3);
+        assert_eq!(MaintenancePolicy::all_for(TreeKind::St).len(), 3);
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let g = base(5);
+        let w = PoissonChurn::default().generate(&g, 6, 9);
+        let harness = ReplayHarness::default();
+        let a = harness.replay(&g, &w, MaintenancePolicy::Impromptu).unwrap();
+        let b = harness.replay(&g, &w, MaintenancePolicy::Impromptu).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn synchronous_and_async_schedulers_both_verify() {
+        let g = base(6);
+        let w = PoissonChurn::default().generate(&g, 6, 10);
+        for scheduler in [Scheduler::Synchronous, Scheduler::RandomAsync { max_delay: 6 }] {
+            let harness = ReplayHarness::new(ReplayConfig { scheduler, ..ReplayConfig::default() });
+            let report = harness.replay(&g, &w, MaintenancePolicy::Impromptu).unwrap();
+            assert_eq!(report.checkpoints_verified, w.len());
+        }
+    }
+}

@@ -1,0 +1,594 @@
+//! Composable scenario generators.
+//!
+//! Every generator is a [`Scenario`]: a pure function from (base graph,
+//! event budget, seed) to a [`Workload`]. Generators maintain a *shadow*
+//! copy of the evolving graph while emitting events, so every emitted event
+//! is applicable in order — [`Workload::validate`] re-checks this — and the
+//! connectivity regime is controlled deliberately:
+//!
+//! * [`PoissonChurn`], [`AdversarialTreeCut`], [`WeightDrift`] and
+//!   [`MixedPhases`] keep the network connected (deletions avoid bridges),
+//!   the regime of the paper's repair theorems;
+//! * [`PartitionHeal`] *deliberately* disconnects the network in bursts and
+//!   heals it again, exercising the `Bridge` / `MergedFragments` repair
+//!   paths.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use kkt_graphs::{kruskal, EdgeId, Graph, NodeId, Weight};
+
+use crate::event::WorkloadEvent;
+use crate::fingerprint::fnv1a64;
+use crate::workload::Workload;
+
+/// A deterministic trace generator.
+pub trait Scenario {
+    /// Stable identifier (also the default workload name); parameters are
+    /// baked in so two differently-tuned instances have different ids.
+    fn id(&self) -> String;
+
+    /// Generates a trace of (about) `events` top-level events over `base`.
+    /// Same inputs ⇒ identical output, including the fingerprint.
+    fn generate(&self, base: &Graph, events: usize, seed: u64) -> Workload;
+}
+
+/// Derives the generator's RNG so that different scenarios with the same
+/// seed still draw independent streams.
+fn scenario_rng(id: &str, seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ fnv1a64(id.as_bytes()))
+}
+
+fn finish(id: String, seed: u64, base: &Graph, events: Vec<WorkloadEvent>) -> Workload {
+    Workload { name: id.clone(), scenario: id, seed, n: base.node_count(), events }
+}
+
+// ---------------------------------------------------------------------------
+// Shadow-graph helpers
+// ---------------------------------------------------------------------------
+
+fn random_weight(max_weight: Weight, rng: &mut StdRng) -> Weight {
+    if max_weight <= 1 {
+        1
+    } else {
+        rng.gen_range(1..=max_weight)
+    }
+}
+
+/// A uniformly random absent pair, or `None` if the graph is complete.
+fn random_absent_pair(g: &Graph, rng: &mut StdRng) -> Option<(NodeId, NodeId)> {
+    let n = g.node_count();
+    if n < 2 || g.edge_count() >= n * (n - 1) / 2 {
+        return None;
+    }
+    loop {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v && g.edge_between(u, v).is_none() {
+            return Some((u, v));
+        }
+    }
+}
+
+/// Bridge flags for all live edges (indexed by `EdgeId`), computed with one
+/// iterative Tarjan low-link DFS per component in `O(n + m)` — generators
+/// call this once per emitted deletion, so a per-candidate connectivity
+/// probe would make trace generation quadratic in `m`.
+fn bridge_flags(g: &Graph) -> Vec<bool> {
+    let n = g.node_count();
+    let cap = g.live_edges().map(|e| e.0 + 1).max().unwrap_or(0);
+    let mut is_bridge = vec![false; cap];
+    let mut disc = vec![usize::MAX; n];
+    let mut low = vec![usize::MAX; n];
+    let mut timer = 0usize;
+    for start in 0..n {
+        if disc[start] != usize::MAX {
+            continue;
+        }
+        disc[start] = timer;
+        low[start] = timer;
+        timer += 1;
+        // Stack frame: (node, edge into it, incident edges, next index).
+        let mut stack: Vec<(NodeId, Option<EdgeId>, Vec<EdgeId>, usize)> =
+            vec![(start, None, g.incident(start).collect(), 0)];
+        while let Some(frame) = stack.last_mut() {
+            let (x, parent_edge) = (frame.0, frame.1);
+            if frame.3 < frame.2.len() {
+                let e = frame.2[frame.3];
+                frame.3 += 1;
+                // The graph is simple, so skipping the one parent edge by id
+                // cannot skip a parallel edge.
+                if Some(e) == parent_edge {
+                    continue;
+                }
+                let y = g.edge(e).other(x);
+                if disc[y] == usize::MAX {
+                    disc[y] = timer;
+                    low[y] = timer;
+                    timer += 1;
+                    stack.push((y, Some(e), g.incident(y).collect(), 0));
+                } else {
+                    low[x] = low[x].min(disc[y]);
+                }
+            } else {
+                stack.pop();
+                if let Some(parent) = stack.last_mut() {
+                    let px = parent.0;
+                    low[px] = low[px].min(low[x]);
+                    if let Some(pe) = parent_edge {
+                        if low[x] > disc[px] {
+                            is_bridge[pe.0] = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    is_bridge
+}
+
+/// A random deletable (non-bridge) edge, optionally restricted to the
+/// current minimum spanning forest.
+fn random_deletable_edge(g: &Graph, tree_only: bool, rng: &mut StdRng) -> Option<EdgeId> {
+    let tree = if tree_only { Some(kruskal(g)) } else { None };
+    let bridges = bridge_flags(g);
+    let candidates: Vec<EdgeId> = g
+        .live_edges()
+        .filter(|&e| !bridges[e.0])
+        .filter(|&e| tree.as_ref().is_none_or(|t| t.contains(e)))
+        .collect();
+    if candidates.is_empty() {
+        None
+    } else {
+        Some(candidates[rng.gen_range(0..candidates.len())])
+    }
+}
+
+/// A deletion event for a random deletable edge (shared by the churn and
+/// adversarial generators so the sampling discipline cannot drift apart).
+fn random_delete_event(g: &Graph, tree_only: bool, rng: &mut StdRng) -> Option<WorkloadEvent> {
+    random_deletable_edge(g, tree_only, rng).map(|e| {
+        let edge = *g.edge(e);
+        WorkloadEvent::DeleteEdge { u: edge.u, v: edge.v }
+    })
+}
+
+/// A connected region grown by BFS from a random start, of the given size.
+fn random_region(g: &Graph, size: usize, rng: &mut StdRng) -> Vec<bool> {
+    let n = g.node_count();
+    let mut side = vec![false; n];
+    let start = rng.gen_range(0..n);
+    let mut frontier = vec![start];
+    side[start] = true;
+    let mut grown = 1;
+    while grown < size {
+        let Some(&x) = frontier.last() else { break };
+        let next = g.incident(x).map(|e| g.edge(e).other(x)).find(|&y| !side[y]);
+        match next {
+            Some(y) => {
+                side[y] = true;
+                grown += 1;
+                frontier.push(y);
+            }
+            None => {
+                frontier.pop();
+            }
+        }
+    }
+    side
+}
+
+// ---------------------------------------------------------------------------
+// 1. Poisson churn
+// ---------------------------------------------------------------------------
+
+/// Memoryless background churn: each event is independently a deletion
+/// (probability [`PoissonChurn::delete_fraction`]) of a uniformly random
+/// non-bridge edge, or an insertion of a uniformly random absent edge — the
+/// discrete-time thinning of two independent Poisson processes. The network
+/// stays connected throughout; density performs a bounded random walk.
+#[derive(Debug, Clone, Copy)]
+pub struct PoissonChurn {
+    /// Probability that an event is a deletion (the rest insert).
+    pub delete_fraction: f64,
+    /// Maximum raw weight for inserted edges.
+    pub max_weight: Weight,
+}
+
+impl Default for PoissonChurn {
+    fn default() -> Self {
+        PoissonChurn { delete_fraction: 0.5, max_weight: 1_000 }
+    }
+}
+
+impl Scenario for PoissonChurn {
+    fn id(&self) -> String {
+        format!("poisson_churn({:.2})", self.delete_fraction)
+    }
+
+    fn generate(&self, base: &Graph, events: usize, seed: u64) -> Workload {
+        let id = self.id();
+        let mut rng = scenario_rng(&id, seed);
+        let mut shadow = base.clone();
+        let mut out = Vec::with_capacity(events);
+        for _ in 0..events {
+            let delete = rng.gen_bool(self.delete_fraction);
+            let event = if delete { random_delete_event(&shadow, false, &mut rng) } else { None };
+            // A failed draw (tree-only graph has no deletable edge; complete
+            // graph has no absent pair) falls through to the other kind.
+            let event = event
+                .or_else(|| {
+                    random_absent_pair(&shadow, &mut rng).map(|(u, v)| WorkloadEvent::InsertEdge {
+                        u,
+                        v,
+                        weight: random_weight(self.max_weight, &mut rng),
+                    })
+                })
+                .or_else(|| random_delete_event(&shadow, false, &mut rng));
+            let Some(event) = event else { break };
+            event.apply_to_graph(&mut shadow).expect("generator emits applicable events");
+            out.push(event);
+        }
+        finish(id, seed, base, out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2. Adversarial tree-edge targeting
+// ---------------------------------------------------------------------------
+
+/// An adversary that always severs the *current minimum spanning forest*:
+/// every deletion targets a (non-bridge) tree edge, forcing a full
+/// `FindMin`/`FindAny` repair each time — the worst case the repair
+/// theorems price. Every third event re-inserts a random absent edge so the
+/// replacement pool never dries up.
+#[derive(Debug, Clone, Copy)]
+pub struct AdversarialTreeCut {
+    /// Maximum raw weight for replenishing insertions.
+    pub max_weight: Weight,
+}
+
+impl Default for AdversarialTreeCut {
+    fn default() -> Self {
+        AdversarialTreeCut { max_weight: 1_000 }
+    }
+}
+
+impl Scenario for AdversarialTreeCut {
+    fn id(&self) -> String {
+        "adversarial_tree_cut".to_string()
+    }
+
+    fn generate(&self, base: &Graph, events: usize, seed: u64) -> Workload {
+        let id = self.id();
+        let mut rng = scenario_rng(&id, seed);
+        let mut shadow = base.clone();
+        let mut out = Vec::with_capacity(events);
+        for step in 0..events {
+            let replenish = step % 3 == 2;
+            let event = if replenish {
+                random_absent_pair(&shadow, &mut rng).map(|(u, v)| WorkloadEvent::InsertEdge {
+                    u,
+                    v,
+                    weight: random_weight(self.max_weight, &mut rng),
+                })
+            } else {
+                random_delete_event(&shadow, true, &mut rng)
+            };
+            let Some(event) = event else { continue };
+            event.apply_to_graph(&mut shadow).expect("generator emits applicable events");
+            out.push(event);
+        }
+        finish(id, seed, base, out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Partition and heal
+// ---------------------------------------------------------------------------
+
+/// Correlated failure bursts: a connected region of roughly a quarter of the
+/// network is cut off by deleting *all* of its boundary edges in one burst
+/// (the network genuinely partitions — repairs must return `Bridge`), then
+/// the same links come back in a healing burst with fresh weights
+/// (`MergedFragments`). Repeats until the event budget is spent.
+#[derive(Debug, Clone, Copy)]
+pub struct PartitionHeal {
+    /// Maximum raw weight for healed edges.
+    pub max_weight: Weight,
+}
+
+impl Default for PartitionHeal {
+    fn default() -> Self {
+        PartitionHeal { max_weight: 1_000 }
+    }
+}
+
+impl Scenario for PartitionHeal {
+    fn id(&self) -> String {
+        "partition_heal".to_string()
+    }
+
+    fn generate(&self, base: &Graph, events: usize, seed: u64) -> Workload {
+        let id = self.id();
+        let mut rng = scenario_rng(&id, seed);
+        let mut shadow = base.clone();
+        let mut out = Vec::with_capacity(events);
+        while out.len() + 2 <= events {
+            let region_size = (shadow.node_count() / 4).max(2);
+            let side = random_region(&shadow, region_size, &mut rng);
+            let cut = shadow.cut(&side);
+            if cut.is_empty() {
+                break;
+            }
+            let endpoints: Vec<(NodeId, NodeId)> = cut
+                .iter()
+                .map(|&e| {
+                    let edge = shadow.edge(e);
+                    (edge.u, edge.v)
+                })
+                .collect();
+            let partition = WorkloadEvent::Burst {
+                events: endpoints
+                    .iter()
+                    .map(|&(u, v)| WorkloadEvent::DeleteEdge { u, v })
+                    .collect(),
+            };
+            let heal = WorkloadEvent::Burst {
+                events: endpoints
+                    .iter()
+                    .map(|&(u, v)| WorkloadEvent::InsertEdge {
+                        u,
+                        v,
+                        weight: random_weight(self.max_weight, &mut rng),
+                    })
+                    .collect(),
+            };
+            partition.apply_to_graph(&mut shadow).expect("cut edges are live");
+            heal.apply_to_graph(&mut shadow).expect("healed edges were just deleted");
+            out.push(partition);
+            out.push(heal);
+        }
+        finish(id, seed, base, out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 4. Weight drift on hot edges
+// ---------------------------------------------------------------------------
+
+/// Weight-only dynamics: a "hot" subset of edges (biased towards the current
+/// tree, where changes actually matter) performs a multiplicative random
+/// walk. Exercises `increase_weight_mst` / `decrease_weight_mst` — tree
+/// re-justifications and swaps — without any topology change.
+#[derive(Debug, Clone, Copy)]
+pub struct WeightDrift {
+    /// Fraction of edges in the hot set (clamped to at least one edge).
+    pub hot_fraction: f64,
+    /// Per-event multiplicative step: weights move by a factor in
+    /// `[1/(1+drift), 1+drift]`.
+    pub drift: f64,
+    /// Weights are clamped to `[1, max_weight]`.
+    pub max_weight: Weight,
+}
+
+impl Default for WeightDrift {
+    fn default() -> Self {
+        WeightDrift { hot_fraction: 0.2, drift: 0.8, max_weight: 1_000 }
+    }
+}
+
+impl Scenario for WeightDrift {
+    fn id(&self) -> String {
+        format!("weight_drift({:.2})", self.hot_fraction)
+    }
+
+    fn generate(&self, base: &Graph, events: usize, seed: u64) -> Workload {
+        let id = self.id();
+        let mut rng = scenario_rng(&id, seed);
+        let mut shadow = base.clone();
+        // Hot set: all tree edges first, then non-tree edges, up to the
+        // requested fraction of m.
+        let tree = kruskal(&shadow);
+        let mut hot: Vec<EdgeId> = shadow.live_edges().filter(|&e| tree.contains(e)).collect();
+        let non_tree: Vec<EdgeId> = shadow.live_edges().filter(|&e| !tree.contains(e)).collect();
+        let target = ((shadow.edge_count() as f64 * self.hot_fraction) as usize).max(1);
+        for &e in &non_tree {
+            if hot.len() >= target {
+                break;
+            }
+            hot.push(e);
+        }
+        hot.truncate(target.max(1));
+        let mut out = Vec::with_capacity(events);
+        for _ in 0..events {
+            let e = hot[rng.gen_range(0..hot.len())];
+            let edge = *shadow.edge(e);
+            let factor = 1.0 + rng.gen_range(0.0..self.drift.max(0.01));
+            let up = rng.gen_bool(0.5);
+            let new_weight = if up {
+                ((edge.weight as f64 * factor) as Weight).clamp(1, self.max_weight)
+            } else {
+                ((edge.weight as f64 / factor) as Weight).clamp(1, self.max_weight)
+            };
+            let event = WorkloadEvent::ChangeWeight { u: edge.u, v: edge.v, weight: new_weight };
+            event.apply_to_graph(&mut shadow).expect("hot edges stay live");
+            out.push(event);
+        }
+        finish(id, seed, base, out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 5. Mixed phases
+// ---------------------------------------------------------------------------
+
+/// Sequential composition: each phase's generator runs against the graph as
+/// the previous phases left it, modelling e.g. *steady churn → partition →
+/// heal → weight turbulence* lifecycles. This is the "composable" in
+/// composable scenario generators — any [`Scenario`] can be a phase.
+pub struct MixedPhases {
+    /// The phases: a scenario and its share of the event budget.
+    pub phases: Vec<(Box<dyn Scenario>, usize)>,
+}
+
+impl MixedPhases {
+    /// A ready-made lifecycle: churn, then partition-and-heal, then weight
+    /// drift, splitting the event budget 2:1:1.
+    pub fn standard(max_weight: Weight) -> Self {
+        MixedPhases {
+            phases: vec![
+                (Box::new(PoissonChurn { delete_fraction: 0.5, max_weight }), 2),
+                (Box::new(PartitionHeal { max_weight }), 1),
+                (Box::new(WeightDrift { max_weight, ..WeightDrift::default() }), 1),
+            ],
+        }
+    }
+}
+
+impl Scenario for MixedPhases {
+    fn id(&self) -> String {
+        let parts: Vec<String> = self.phases.iter().map(|(s, _)| s.id()).collect();
+        format!("mixed[{}]", parts.join(";"))
+    }
+
+    fn generate(&self, base: &Graph, events: usize, seed: u64) -> Workload {
+        let id = self.id();
+        let total_shares: usize = self.phases.iter().map(|(_, share)| *share).sum();
+        let mut shadow = base.clone();
+        let mut out = Vec::with_capacity(events);
+        for (i, (scenario, share)) in self.phases.iter().enumerate() {
+            let budget = (events * share).checked_div(total_shares).unwrap_or(0);
+            let phase = scenario.generate(&shadow, budget, seed.wrapping_add(i as u64));
+            for event in &phase.events {
+                event.apply_to_graph(&mut shadow).expect("phase generators emit applicable events");
+            }
+            out.extend(phase.events);
+        }
+        let mut w = finish(id, seed, base, out);
+        w.name = "mixed_lifecycle".to_string();
+        w
+    }
+}
+
+/// The standard scenario battery the experiment suite sweeps: one instance
+/// of each generator family with default tuning.
+pub fn standard_suite(max_weight: Weight) -> Vec<Box<dyn Scenario>> {
+    vec![
+        Box::new(PoissonChurn { delete_fraction: 0.5, max_weight }),
+        Box::new(AdversarialTreeCut { max_weight }),
+        Box::new(PartitionHeal { max_weight }),
+        Box::new(WeightDrift { max_weight, ..WeightDrift::default() }),
+        Box::new(MixedPhases::standard(max_weight)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kkt_graphs::generators;
+
+    fn base(seed: u64) -> Graph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generators::connected_gnp(24, 0.25, 500, &mut rng)
+    }
+
+    #[test]
+    fn bridge_flags_match_naive_connectivity_probe() {
+        for seed in 0..8u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            // Sparse graphs (and one ring, one tree) so real bridges occur.
+            let g = match seed % 3 {
+                0 => generators::connected_gnp(18, 0.06, 50, &mut rng),
+                1 => generators::random_tree(15, 50, &mut rng),
+                _ => generators::ring(12, 50, &mut rng),
+            };
+            let flags = bridge_flags(&g);
+            for e in g.live_edges() {
+                let edge = *g.edge(e);
+                let mut probe = g.clone();
+                probe.remove_edge(edge.u, edge.v);
+                let naive = probe.component_count() > g.component_count();
+                assert_eq!(
+                    flags[e.0], naive,
+                    "seed {seed}: edge ({}, {}) bridge flag mismatch",
+                    edge.u, edge.v
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_standard_scenarios_generate_valid_traces() {
+        let g = base(1);
+        for scenario in standard_suite(500) {
+            let w = scenario.generate(&g, 20, 42);
+            assert!(!w.is_empty(), "{} generated nothing", scenario.id());
+            let stats = w.validate(&g).unwrap_or_else(|e| panic!("{}: {e}", scenario.id()));
+            assert!(stats.deletions + stats.insertions + stats.weight_changes > 0);
+        }
+    }
+
+    #[test]
+    fn poisson_churn_keeps_the_network_connected() {
+        let g = base(2);
+        let w = PoissonChurn::default().generate(&g, 40, 7);
+        let stats = w.validate(&g).unwrap();
+        assert_eq!(stats.max_components, 1);
+        assert!(stats.deletions > 0 && stats.insertions > 0);
+    }
+
+    #[test]
+    fn adversarial_deletions_hit_tree_edges() {
+        let g = base(3);
+        let w = AdversarialTreeCut::default().generate(&g, 30, 11);
+        let stats = w.validate(&g).unwrap();
+        assert!(stats.deletions > 0);
+        // The satellite acceptance bar is ≥ half; this generator targets the
+        // tree by construction, so every deletion hits it.
+        assert_eq!(stats.tree_edge_deletions, stats.deletions);
+        assert_eq!(stats.max_components, 1);
+    }
+
+    #[test]
+    fn partition_heal_disconnects_and_restores() {
+        let g = base(4);
+        let w = PartitionHeal::default().generate(&g, 6, 13);
+        let stats = w.validate(&g).unwrap();
+        assert!(stats.bursts >= 2);
+        assert!(stats.max_components > 1, "the partition must actually disconnect");
+        assert_eq!(stats.final_edges, g.edge_count(), "healing restores every link");
+    }
+
+    #[test]
+    fn weight_drift_only_changes_weights() {
+        let g = base(5);
+        let w = WeightDrift::default().generate(&g, 25, 17);
+        let stats = w.validate(&g).unwrap();
+        assert_eq!(stats.deletions, 0);
+        assert_eq!(stats.insertions, 0);
+        assert_eq!(stats.weight_changes, 25);
+    }
+
+    #[test]
+    fn mixed_phases_compose() {
+        let g = base(6);
+        let w = MixedPhases::standard(500).generate(&g, 24, 19);
+        let stats = w.validate(&g).unwrap();
+        assert!(stats.weight_changes > 0, "drift phase contributes");
+        assert!(stats.deletions > 0, "churn phase contributes");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let g = base(7);
+        for scenario in standard_suite(500) {
+            let a = scenario.generate(&g, 15, 1234);
+            let b = scenario.generate(&g, 15, 1234);
+            assert_eq!(a, b, "{} must be deterministic", scenario.id());
+            assert_eq!(a.fingerprint(), b.fingerprint());
+            let c = scenario.generate(&g, 15, 4321);
+            assert_ne!(a.events, c.events, "{} must vary with the seed", scenario.id());
+        }
+    }
+}

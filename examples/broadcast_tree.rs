@@ -35,5 +35,7 @@ fn main() {
         let winner = if kkt_msgs < flood_msgs { "kkt" } else { "flooding" };
         println!("{n:>6} {m:>8} {kkt_msgs:>12} {flood_msgs:>12} {winner:>8}");
     }
-    println!("\nKKT's count grows ~n·log n while flooding grows with m; on dense networks KKT wins.");
+    println!(
+        "\nKKT's count grows ~n·log n while flooding grows with m; on dense networks KKT wins."
+    );
 }

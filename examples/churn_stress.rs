@@ -1,0 +1,62 @@
+//! Churn stress: the whole scenario battery against every maintenance
+//! policy, with oracle verification at every checkpoint.
+//!
+//! This is the `kkt-workloads` subsystem end-to-end: five scenario
+//! generators (memoryless churn, adversarial tree-cutting, partition bursts,
+//! weight drift, a mixed lifecycle) replayed under impromptu repair and
+//! under rebuild-from-scratch baselines, on both an MST and a plain spanning
+//! tree. Everything is seeded — run it twice and the output (including the
+//! suite fingerprints) is byte-identical.
+//!
+//! ```bash
+//! cargo run --release --example churn_stress
+//! ```
+
+use kkt::core::TreeKind;
+use kkt::workloads::{run_churn_suite, ChurnSuiteReport, SuiteParams};
+
+fn summarise(report: &ChurnSuiteReport) {
+    println!(
+        "== {} maintenance, {} (n = {}, m = {}, {} events/scenario, fingerprint {})",
+        report.tree_kind,
+        report.scheduler,
+        report.n,
+        report.m,
+        report.events_per_scenario,
+        report.fingerprint
+    );
+    for scenario in &report.scenarios {
+        println!(
+            "  {} (deletions {}, of which tree {}; insertions {}; weight changes {}; max components {})",
+            scenario.scenario,
+            scenario.stats.deletions,
+            scenario.stats.tree_edge_deletions,
+            scenario.stats.insertions,
+            scenario.stats.weight_changes,
+            scenario.stats.max_components,
+        );
+        let impromptu_bits = scenario.report_for("impromptu_repair").map_or(0, |r| r.total.bits);
+        for r in &scenario.reports {
+            let ratio = if impromptu_bits > 0 {
+                format!("{:.2}x impromptu", r.total.bits as f64 / impromptu_bits as f64)
+            } else {
+                "-".to_string()
+            };
+            println!(
+                "    {:<16} {:>9} msgs {:>12} bits ({} checkpoints ok, {})",
+                r.policy, r.total.messages, r.total.bits, r.checkpoints_verified, ratio
+            );
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mst = SuiteParams { n: 48, m: 192, events: 12, verify_every: 3, ..SuiteParams::default() };
+    summarise(&run_churn_suite(&mst)?);
+
+    // The same battery on an unweighted spanning tree: repairs use FindAny
+    // (expected O(n)) and the rebuild baseline is Θ(m) flooding.
+    let st = SuiteParams { kind: TreeKind::St, max_weight: 1, ..mst };
+    summarise(&run_churn_suite(&st)?);
+    Ok(())
+}

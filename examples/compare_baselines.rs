@@ -16,10 +16,7 @@ fn main() {
     let config = KktConfig::default();
     let n = 192;
     println!("fixed n = {n}, growing density (average degree):");
-    println!(
-        "{:>8} {:>9} {:>12} {:>12} {:>12}",
-        "avg_deg", "m", "kkt_mst", "ghs_mst", "flooding"
-    );
+    println!("{:>8} {:>9} {:>12} {:>12} {:>12}", "avg_deg", "m", "kkt_mst", "ghs_mst", "flooding");
     for &avg_degree in &[3usize, 8, 24, 64, 191] {
         let mut rng = rand::rngs::StdRng::seed_from_u64(avg_degree as u64);
         let m_target = (n * avg_degree / 2).min(n * (n - 1) / 2);

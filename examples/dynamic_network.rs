@@ -2,55 +2,47 @@
 //! latency changes, maintained impromptu (no state between updates beyond the
 //! marked tree itself).
 //!
+//! The event stream comes from the `kkt-workloads` scenario engine: a seeded
+//! Poisson-churn trace, replayed through the paper's repairs by the
+//! [`kkt::workloads::ReplayHarness`] with a Kruskal-oracle check after every
+//! event. Same seed ⇒ same trace ⇒ same costs ⇒ identical output.
+//!
 //! ```bash
 //! cargo run --example dynamic_network
 //! ```
 
-use kkt::graphs::generators::{self, Update};
-use kkt::{MaintainOptions, MaintainedForest, TreeKind};
+use kkt::graphs::generators;
+use kkt::workloads::{MaintenancePolicy, PoissonChurn, ReplayHarness, Scenario};
 use rand::SeedableRng;
 
-fn main() -> Result<(), kkt::CoreError> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
     let graph = generators::connected_with_edges(192, 1200, 500, &mut rng);
-    let updates = generators::random_update_stream(&graph, 60, 500, 0.6, &mut rng);
     let m = graph.edge_count();
 
-    let mut forest = MaintainedForest::build(graph, TreeKind::Mst, MaintainOptions::default())?;
+    let scenario = PoissonChurn { delete_fraction: 0.5, max_weight: 500 };
+    let workload = scenario.generate(&graph, 60, 7);
     println!(
-        "initial MST over n = {}, m = {}: {} messages",
-        forest.node_count(),
+        "scenario {} over n = {}, m = {}: {} events (trace fingerprint {})",
+        workload.scenario,
+        graph.node_count(),
         m,
-        forest.build_cost().messages
+        workload.len(),
+        workload.fingerprint()
     );
 
-    let mut per_update_messages = Vec::new();
-    for (i, update) in updates.iter().enumerate() {
-        let before = forest.cost().messages;
-        match *update {
-            Update::Delete { u, v } => {
-                forest.delete_edge(u, v)?;
-            }
-            Update::Insert { u, v, weight } => {
-                forest.insert_edge(u, v, weight)?;
-            }
-            Update::IncreaseWeight { u, v, weight } | Update::DecreaseWeight { u, v, weight } => {
-                forest.change_weight(u, v, weight)?;
-            }
-        }
-        let spent = forest.cost().messages - before;
-        per_update_messages.push(spent);
-        forest.verify().unwrap_or_else(|e| panic!("update {i} broke the forest: {e}"));
-    }
+    let harness = ReplayHarness::default();
+    let report = harness.replay(&graph, &workload, MaintenancePolicy::Impromptu)?;
 
-    let total: u64 = per_update_messages.iter().sum();
-    let max = per_update_messages.iter().max().copied().unwrap_or(0);
+    println!("initial MST: {} messages", report.build.messages);
     println!(
-        "processed {} updates: {} messages total, {:.0} per update on average, {} worst case",
-        per_update_messages.len(),
-        total,
-        total as f64 / per_update_messages.len() as f64,
-        max
+        "processed {} updates: {} messages total, {:.0} per update on average, {} worst case \
+         ({} oracle checkpoints passed)",
+        report.per_event.len(),
+        report.total.messages,
+        report.mean_messages_per_event,
+        report.max_messages_per_event,
+        report.checkpoints_verified,
     );
     println!(
         "for reference, re-flooding after every update would cost ≈ {} messages per update",

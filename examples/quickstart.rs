@@ -46,7 +46,9 @@ fn main() -> Result<(), kkt::CoreError> {
     let before = forest.cost();
     let outcome = forest.insert_edge(a, b, 1)?;
     let delta_messages = forest.cost().messages - before.messages;
-    println!("inserted edge ({a}, {b}, w=1): {outcome:?}, processed with {delta_messages} messages");
+    println!(
+        "inserted edge ({a}, {b}, w=1): {outcome:?}, processed with {delta_messages} messages"
+    );
     forest.verify().expect("still the MST after the insertion");
 
     println!("total communication so far: {}", forest.cost());

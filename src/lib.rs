@@ -15,11 +15,19 @@
 //!   leader election, flooding, cost accounting),
 //! * [`core`] — the paper's algorithms (TestOut, HP-TestOut, FindAny,
 //!   FindMin, Build MST/ST, impromptu repairs, [`MaintainedForest`]),
-//! * [`baselines`] — GHS-style and flooding baselines.
+//! * [`baselines`] — GHS-style and flooding baselines,
+//! * [`workloads`] — the deterministic dynamic-network scenario engine:
+//!   seeded churn traces (Poisson churn, adversarial tree-cutting,
+//!   partition-and-heal bursts, weight drift, mixed lifecycles), a replay
+//!   harness driving them through impromptu repair or rebuild policies under
+//!   either scheduler with Kruskal-oracle checkpoints, and fingerprinted
+//!   JSON cost reports.
 //!
 //! The runnable examples live in `examples/` (`quickstart`,
-//! `dynamic_network`, `broadcast_tree`, `compare_baselines`) and the
-//! experiment harness in the `kkt-bench` crate.
+//! `dynamic_network`, `broadcast_tree`, `compare_baselines`,
+//! `churn_stress`) and the experiment harness in the `kkt-bench` crate
+//! (whose `exp1`…`exp9` binaries are registered on this package, so
+//! `cargo run --bin exp9_churn_policies` works from the repository root).
 //!
 //! ```rust
 //! use kkt::{MaintainOptions, MaintainedForest, TreeKind};
@@ -40,8 +48,9 @@ pub use kkt_congest as congest;
 pub use kkt_core as core;
 pub use kkt_graphs as graphs;
 pub use kkt_hashing as hashing;
+pub use kkt_workloads as workloads;
 
 pub use kkt_core::{
     CoreError, DeleteOutcome, FoundEdge, InsertOutcome, KktConfig, MaintainOptions,
-    MaintainedForest, TreeKind,
+    MaintainedForest, TreeKind, UpdateOutcome,
 };

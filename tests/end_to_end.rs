@@ -59,9 +59,12 @@ fn st_constructions_all_span() {
 fn maintained_forest_survives_mixed_update_streams() {
     let mut rng = StdRng::seed_from_u64(11);
     let g = generators::connected_with_edges(72, 400, 300, &mut rng);
-    let mut forest =
-        MaintainedForest::build(g, TreeKind::Mst, MaintainOptions { seed: 5, ..Default::default() })
-            .unwrap();
+    let mut forest = MaintainedForest::build(
+        g,
+        TreeKind::Mst,
+        MaintainOptions { seed: 5, ..Default::default() },
+    )
+    .unwrap();
     forest.verify().unwrap();
 
     for step in 0..40 {
@@ -89,9 +92,8 @@ fn maintained_forest_survives_mixed_update_streams() {
             2 => {
                 // Insert a random missing edge.
                 let n = forest.node_count();
-                let pair = (0..200)
-                    .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
-                    .find(|&(a, b)| {
+                let pair =
+                    (0..200).map(|_| (rng.gen_range(0..n), rng.gen_range(0..n))).find(|&(a, b)| {
                         a != b && forest.network().graph().edge_between(a, b).is_none()
                     });
                 if let Some((a, b)) = pair {

@@ -94,10 +94,13 @@ fn asynchronous_and_synchronous_repairs_agree_on_the_result() {
     // The replacement edge is the unique minimum across the cut, so both
     // timing models must converge to the same repaired MST.
     assert_eq!(sync_forest, async_forest);
-    kkt::graphs::verify_mst(&{
-        let mut g2 = g.clone();
-        g2.remove_edge(victim.u, victim.v);
-        g2
-    }, &sync_forest)
+    kkt::graphs::verify_mst(
+        &{
+            let mut g2 = g.clone();
+            g2.remove_edge(victim.u, victim.v);
+            g2
+        },
+        &sync_forest,
+    )
     .unwrap();
 }
