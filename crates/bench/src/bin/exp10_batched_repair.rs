@@ -1,0 +1,24 @@
+//! Experiment binary: batched vs sequential vs rebuild repair on bursts of
+//! `k` simultaneous independent tree-edge failures (see `kkt-workloads`'
+//! `MultiEdgeCuts` and `kkt-core`'s batched repair pipeline).
+//!
+//! Prints the human-readable table to **stderr** and the sealed,
+//! deterministic JSON report to **stdout**, so
+//! `cargo run --bin exp10_batched_repair > report.json` captures valid JSON.
+//! CI runs this binary twice and asserts the JSON is byte-identical — the
+//! determinism guard for the concurrent search interleaving.
+//!
+//! Scale is controlled by the `KKT_SCALE` environment variable
+//! (`large` for the full sweep, anything else for the quick one) and the
+//! seed by `KKT_SEED`.
+
+use kkt_bench::experiments;
+use kkt_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let seed = std::env::var("KKT_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0xFEED);
+    let (table, report) = experiments::exp10_batched_repair(scale, seed);
+    eprintln!("{table}");
+    println!("{}", serde_json::to_string_pretty(&report).expect("report serialises"));
+}

@@ -14,7 +14,10 @@ use kkt_core::{
     insert_edge_mst, test_out, DeleteOutcome, KktConfig, WeightInterval,
 };
 use kkt_graphs::{generators, kruskal, Graph};
-use kkt_workloads::{run_churn_suite, ChurnSuiteReport, SuiteParams};
+use kkt_workloads::{
+    run_churn_suite, ChurnSuiteReport, MaintenancePolicy, MultiEdgeCuts, ReplayConfig,
+    ReplayHarness, Scenario, ScenarioComparison, SuiteParams,
+};
 
 use crate::stats::Summary;
 use crate::table::Table;
@@ -487,6 +490,98 @@ pub fn exp9_churn_policies(scale: Scale, seed: u64) -> (Table, ChurnSuiteReport)
     (table, report)
 }
 
+/// E10 — batched repair: `multi_edge_cuts` bursts severing `k` independent
+/// tree edges at once, replayed under sequential impromptu repair, the
+/// batched repair pipeline, and rebuild-from-scratch, for `k ∈ {1..16}`.
+/// This is the crossover the ROADMAP flagged after exp9: sequential repairs
+/// lose to one rebuild on bursts, so batching is where o(m) maintenance
+/// either wins or dies under churn.
+///
+/// Returns the printable table *and* the sealed deterministic JSON report
+/// (the `exp10_batched_repair` binary prints the former to stderr and the
+/// latter to stdout; CI asserts the JSON is byte-identical across runs).
+pub fn exp10_batched_repair(scale: Scale, seed: u64) -> (Table, ChurnSuiteReport) {
+    let (n, m, events, burst_sizes): (usize, usize, usize, Vec<usize>) = match scale {
+        Scale::Quick => (48, 4 * 48, 6, vec![1, 2, 4, 8]),
+        Scale::Large => (128, 8 * 128, 10, vec![1, 2, 4, 8, 16]),
+    };
+    let params = SuiteParams { n, m, events, seed, verify_every: 2, ..SuiteParams::default() };
+    let base = params.base_graph();
+    let harness = ReplayHarness::new(ReplayConfig {
+        kind: params.kind,
+        scheduler: params.scheduler,
+        verify_every: params.verify_every,
+        seed,
+    });
+    let policies = [
+        MaintenancePolicy::Impromptu,
+        MaintenancePolicy::BatchedRepair,
+        MaintenancePolicy::RebuildKkt,
+    ];
+    let mut scenarios = Vec::new();
+    for &k in &burst_sizes {
+        let scenario = MultiEdgeCuts { burst_size: k, max_weight: params.max_weight };
+        let workload = scenario.generate(&base, events, seed);
+        let stats = workload.validate(&base).expect("generated trace is applicable");
+        let mut reports = Vec::new();
+        for policy in policies {
+            reports.push(
+                harness
+                    .replay(&base, &workload, policy)
+                    .expect("every checkpoint verifies against the Kruskal oracle"),
+            );
+        }
+        scenarios.push(ScenarioComparison {
+            scenario: workload.scenario.clone(),
+            workload_fingerprint: workload.fingerprint(),
+            stats,
+            reports,
+        });
+    }
+    let mut report = ChurnSuiteReport {
+        n: base.node_count(),
+        m: base.edge_count(),
+        events_per_scenario: events,
+        seed,
+        tree_kind: "mst".to_string(),
+        scheduler: kkt_workloads::report::scheduler_label(params.scheduler),
+        scenarios,
+        fingerprint: String::new(),
+    };
+    report.seal();
+
+    let mut table = Table::new(
+        "E10: batched repair — sequential vs batched vs rebuild on k simultaneous cuts",
+        &[
+            "k",
+            "policy",
+            "events",
+            "msgs_total",
+            "bits_total",
+            "time_total",
+            "vs_seq(bits)",
+            "checkpoints",
+        ],
+    );
+    for (scenario, &k) in report.scenarios.iter().zip(&burst_sizes) {
+        let sequential_bits =
+            scenario.report_for("impromptu_repair").map(|r| r.total.bits).unwrap_or(0).max(1);
+        for r in &scenario.reports {
+            table.push_row(vec![
+                k.to_string(),
+                r.policy.clone(),
+                r.top_level_events.to_string(),
+                r.total.messages.to_string(),
+                r.total.bits.to_string(),
+                r.total.time.to_string(),
+                format!("{:.2}x", r.total.bits as f64 / sequential_bits as f64),
+                r.checkpoints_verified.to_string(),
+            ]);
+        }
+    }
+    (table, report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -511,8 +606,8 @@ mod tests {
     #[test]
     fn exp9_repair_beats_rebuild_on_poisson_churn() {
         let (table, report) = exp9_churn_policies(Scale::Quick, 7);
-        // 5 scenarios × 3 MST policies.
-        assert_eq!(table.len(), 15);
+        // 5 scenarios × 4 MST policies (sequential, batched, KKT/GHS rebuild).
+        assert_eq!(table.len(), 20);
         let poisson = report
             .scenarios
             .iter()
@@ -527,6 +622,46 @@ mod tests {
             rebuild.total.bits
         );
         assert!(!report.fingerprint.is_empty());
+    }
+
+    #[test]
+    fn exp10_batched_repair_beats_sequential_on_large_bursts() {
+        let (table, report) = exp10_batched_repair(Scale::Quick, 0xFEED);
+        // 4 burst sizes × 3 policies.
+        assert_eq!(table.len(), 12);
+        assert!(!report.fingerprint.is_empty());
+        for scenario in &report.scenarios {
+            let k: usize = scenario
+                .scenario
+                .trim_start_matches("multi_edge_cuts(k=")
+                .trim_end_matches(')')
+                .parse()
+                .unwrap();
+            let sequential = scenario.report_for("impromptu_repair").unwrap();
+            let batched = scenario.report_for("batched_repair").unwrap();
+            assert!(sequential.checkpoints_verified > 0);
+            assert!(batched.checkpoints_verified > 0);
+            if k >= 4 {
+                assert!(
+                    batched.total.bits < sequential.total.bits,
+                    "k={k}: batched {} bits must beat sequential {}",
+                    batched.total.bits,
+                    sequential.total.bits
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exp10_report_is_deterministic() {
+        let a = exp10_batched_repair(Scale::Quick, 42).1;
+        let b = exp10_batched_repair(Scale::Quick, 42).1;
+        assert_eq!(a, b);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "same seed must give byte-identical JSON"
+        );
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //! aggregate value handed to every node's program is configuration for the
 //! *root*, mirroring "x broadcasts h in one message".
 
+use std::collections::HashMap;
+
 use kkt_graphs::NodeId;
 
 use crate::engine::{Engine, Outbox, Protocol};
@@ -195,16 +197,75 @@ pub fn run_broadcast_echo<A: TreeAggregate>(
     root: NodeId,
     aggregate: A,
 ) -> Result<A::Output, CongestError> {
-    if root >= net.node_count() {
-        return Err(CongestError::InvalidNode(root));
+    let mut outputs = run_broadcast_echoes(net, vec![(root, aggregate)])?;
+    outputs.pop().ok_or(CongestError::MissingOutput("broadcast-and-echo root output"))
+}
+
+/// Runs several broadcast-and-echoes *concurrently* in a single engine pass —
+/// one per `(root, aggregate)` pair — and returns the per-root outputs in
+/// input order.
+///
+/// This is the engine-level support for interleaving multiple tree searches:
+/// every root initiates at time 0, the waves progress under whatever
+/// scheduler the network is configured with, and the recorded makespan is the
+/// *maximum* over the trees instead of the sum a back-to-back sequence would
+/// pay. Message and bit counts are unaffected by the interleaving (each tree
+/// still pays its own `2(|T| − 1)` messages), and one broadcast-and-echo is
+/// recorded per root.
+///
+/// # Contract
+///
+/// The roots must lie in pairwise-disjoint marked trees (as fragment searches
+/// always do — fragments are vertex-disjoint). Every [`TreeAggregate`] must
+/// already compute non-root contributions purely from the node's view and the
+/// received `Down` payload (see the module docs on accounting honesty); the
+/// instances passed here are consulted only at their own root, so aggregates
+/// of the same type may carry *different* per-root parameters.
+///
+/// # Errors
+///
+/// Propagates engine errors; rejects out-of-range or duplicated roots, and
+/// returns [`CongestError::MissingOutput`] if some root never produced a
+/// value (which indicates the marked edge set under it is not a tree).
+pub fn run_broadcast_echoes<A: TreeAggregate>(
+    net: &mut Network,
+    runs: Vec<(NodeId, A)>,
+) -> Result<Vec<A::Output>, CongestError> {
+    if runs.is_empty() {
+        return Ok(Vec::new());
     }
-    net.cost_mut().record_broadcast_echo();
-    let (mut programs, _stats) =
-        Engine::run(net, &[root], |node| BroadcastEcho::new(aggregate.clone(), node == root))?;
-    programs
-        .get_mut(&root)
-        .and_then(|p| p.output.take())
-        .ok_or(CongestError::MissingOutput("broadcast-and-echo root output"))
+    let mut by_root: HashMap<NodeId, A> = HashMap::with_capacity(runs.len());
+    for (root, aggregate) in &runs {
+        if *root >= net.node_count() {
+            return Err(CongestError::InvalidNode(*root));
+        }
+        if by_root.insert(*root, aggregate.clone()).is_some() {
+            // A duplicated root is a bad argument (one node cannot initiate
+            // two concurrent waves over the same tree), same class as an
+            // out-of-range root.
+            return Err(CongestError::InvalidNode(*root));
+        }
+    }
+    for _ in &runs {
+        net.cost_mut().record_broadcast_echo();
+    }
+    let initiators: Vec<NodeId> = runs.iter().map(|(root, _)| *root).collect();
+    let fallback = runs[0].1.clone();
+    let (mut programs, _stats) = Engine::run(net, &initiators, |node| match by_root.get(&node) {
+        // Each root runs its own parameterised instance; other nodes act on
+        // the broadcast payloads alone, so any instance serves them.
+        Some(aggregate) => BroadcastEcho::new(aggregate.clone(), true),
+        None => BroadcastEcho::new(fallback.clone(), false),
+    })?;
+    initiators
+        .iter()
+        .map(|root| {
+            programs
+                .get_mut(root)
+                .and_then(|p| p.output.take())
+                .ok_or(CongestError::MissingOutput("broadcast-and-echo root output"))
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -416,6 +477,103 @@ mod tests {
         let count = run_broadcast_echo(&mut net, 3, CountNodes).unwrap();
         assert_eq!(count, 30);
         assert_eq!(net.cost().messages, 2 * 29);
+    }
+
+    /// Two marked path fragments over one graph: nodes 0..k and k..n.
+    fn two_fragment_network(n: usize, split: usize) -> Network {
+        let mut g = kkt_graphs::Graph::new(n);
+        let mut marked = Vec::new();
+        for i in 0..n - 1 {
+            let e = g.add_edge(i, i + 1, 1 + i as u64).unwrap();
+            if i + 1 != split {
+                marked.push(e);
+            }
+        }
+        let mut net = Network::new(g, NetworkConfig::default());
+        net.mark_all(&marked);
+        net
+    }
+
+    #[test]
+    fn concurrent_echoes_return_per_root_outputs() {
+        let mut net = two_fragment_network(12, 5);
+        let outputs =
+            run_broadcast_echoes(&mut net, vec![(0, CountNodes), (5, CountNodes)]).unwrap();
+        assert_eq!(outputs, vec![5, 7]);
+        assert_eq!(net.cost().broadcast_echoes, 2);
+        // Messages add up across fragments: 2(5-1) + 2(7-1).
+        assert_eq!(net.cost().messages, 8 + 12);
+    }
+
+    #[test]
+    fn concurrent_echoes_overlap_in_time() {
+        // Back-to-back, two path fragments of heights 4 and 6 cost
+        // 2·4 + 2·6 = 20 rounds; concurrently they cost max(8, 12).
+        let mut sequential = two_fragment_network(12, 5);
+        run_broadcast_echo(&mut sequential, 0, CountNodes).unwrap();
+        run_broadcast_echo(&mut sequential, 5, CountNodes).unwrap();
+        let mut concurrent = two_fragment_network(12, 5);
+        run_broadcast_echoes(&mut concurrent, vec![(0, CountNodes), (5, CountNodes)]).unwrap();
+        assert_eq!(sequential.cost().time, 20);
+        assert_eq!(concurrent.cost().time, 12, "interleaved waves pay only the slower tree");
+        assert_eq!(sequential.cost().messages, concurrent.cost().messages);
+    }
+
+    #[test]
+    fn concurrent_echoes_carry_per_root_parameters() {
+        // The same aggregate type with different root payloads: non-root
+        // nodes act on the broadcast value alone.
+        #[derive(Debug, Clone, Copy)]
+        struct AddPayload {
+            payload: u64,
+        }
+        impl TreeAggregate for AddPayload {
+            type Down = u64;
+            type Up = u64;
+            type Output = u64;
+            fn root_payload(&self, _root_view: &NodeView) -> u64 {
+                self.payload
+            }
+            fn local(&self, _view: &NodeView, down: &u64) -> u64 {
+                *down
+            }
+            fn combine(&self, _view: &NodeView, acc: u64, child: u64) -> u64 {
+                acc + child
+            }
+            fn finish(&self, _root_view: &NodeView, _down: &u64, total: u64) -> u64 {
+                total
+            }
+        }
+        use crate::model::NodeView;
+        let mut net = two_fragment_network(12, 5);
+        let outputs = run_broadcast_echoes(
+            &mut net,
+            vec![(0, AddPayload { payload: 10 }), (5, AddPayload { payload: 1000 })],
+        )
+        .unwrap();
+        assert_eq!(outputs, vec![10 * 5, 1000 * 7]);
+    }
+
+    #[test]
+    fn concurrent_echoes_reject_duplicates_and_empty_is_free() {
+        let mut net = two_fragment_network(8, 4);
+        assert!(matches!(
+            run_broadcast_echoes(&mut net, vec![(0, CountNodes), (0, CountNodes)]),
+            Err(CongestError::InvalidNode(0))
+        ));
+        let before = net.cost();
+        let outputs = run_broadcast_echoes::<CountNodes>(&mut net, Vec::new()).unwrap();
+        assert!(outputs.is_empty());
+        assert_eq!(net.cost(), before);
+    }
+
+    #[test]
+    fn concurrent_echoes_work_under_async_delivery() {
+        let mut net = two_fragment_network(12, 5);
+        net.set_config(NetworkConfig::asynchronous(7, 9));
+        let outputs =
+            run_broadcast_echoes(&mut net, vec![(0, CountNodes), (5, CountNodes)]).unwrap();
+        assert_eq!(outputs, vec![5, 7]);
     }
 
     #[test]

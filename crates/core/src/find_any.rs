@@ -34,15 +34,17 @@ use crate::hp_test_out::hp_test_out;
 use crate::weights::{resolve_edge, FoundEdge, WeightInterval};
 
 /// Broadcast payload of the prefix-parity step: the pairwise hash function.
+/// Fields are crate-visible so the batched-repair pipeline can drive the same
+/// aggregates step by step (see `crate::batch`).
 #[derive(Debug, Clone, Copy)]
 pub struct PrefixDown {
-    a: u64,
-    b: u64,
-    range: u64,
+    pub(crate) a: u64,
+    pub(crate) b: u64,
+    pub(crate) range: u64,
     /// Restrict attention to edges inside this interval (used when `FindAny`
     /// is asked for *any* edge in a weight class; the repair algorithms use
     /// the full range).
-    interval: WeightInterval,
+    pub(crate) interval: WeightInterval,
 }
 
 impl BitSized for PrefixDown {
@@ -63,8 +65,8 @@ impl PrefixDown {
 
 /// Step 3a–3c: per-level parities of sampled incident edges, XOR-combined.
 #[derive(Debug, Clone, Copy)]
-struct PrefixParity {
-    down: PrefixDown,
+pub(crate) struct PrefixParity {
+    pub(crate) down: PrefixDown,
 }
 
 impl TreeAggregate for PrefixParity {
@@ -107,9 +109,9 @@ impl TreeAggregate for PrefixParity {
 
 /// Broadcast payload of the key-isolation step: the hash plus the chosen level.
 #[derive(Debug, Clone, Copy)]
-struct IsolateDown {
-    prefix: PrefixDown,
-    level: u32,
+pub(crate) struct IsolateDown {
+    pub(crate) prefix: PrefixDown,
+    pub(crate) level: u32,
 }
 
 impl BitSized for IsolateDown {
@@ -120,8 +122,8 @@ impl BitSized for IsolateDown {
 
 /// Step 3d: XOR of the keys of incident edges hashing below `2^level`.
 #[derive(Debug, Clone, Copy)]
-struct IsolateKeys {
-    down: IsolateDown,
+pub(crate) struct IsolateKeys {
+    pub(crate) down: IsolateDown,
 }
 
 impl TreeAggregate for IsolateKeys {
@@ -160,8 +162,8 @@ impl TreeAggregate for IsolateKeys {
 /// Broadcast payload of the verification step: the candidate edge key.
 #[derive(Debug, Clone, Copy)]
 pub struct VerifyDown {
-    key: u64,
-    interval: WeightInterval,
+    pub(crate) key: u64,
+    pub(crate) interval: WeightInterval,
 }
 
 impl BitSized for VerifyDown {
@@ -195,6 +197,10 @@ pub(crate) struct VerifyCandidate {
 impl VerifyCandidate {
     pub(crate) fn by_key(key: u64, interval: WeightInterval) -> Self {
         VerifyCandidate { down: VerifyDown { key, interval } }
+    }
+
+    pub(crate) fn from_down(down: VerifyDown) -> Self {
+        VerifyCandidate { down }
     }
 }
 

@@ -64,7 +64,7 @@ impl BitSized for HpUp {
 /// The HP-TestOut aggregate.
 #[derive(Debug, Clone, Copy)]
 pub struct HpAggregate {
-    down: HpDown,
+    pub(crate) down: HpDown,
 }
 
 impl TreeAggregate for HpAggregate {

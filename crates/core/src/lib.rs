@@ -47,6 +47,7 @@
 //! # }
 //! ```
 
+pub mod batch;
 pub mod build_mst;
 pub mod build_st;
 pub mod config;
@@ -59,6 +60,7 @@ pub mod repair;
 pub mod test_out;
 pub mod weights;
 
+pub use batch::{BatchError, BatchStats};
 pub use build_mst::{build_mst, BuildOutcome, PhaseReport};
 pub use build_st::build_st;
 pub use config::{KktConfig, FINDANY_SUCCESS_PROBABILITY, TESTOUT_SUCCESS_PROBABILITY};

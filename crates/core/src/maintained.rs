@@ -33,6 +33,7 @@ use kkt_congest::{CostReport, Network, NetworkConfig, Scheduler};
 use kkt_graphs::generators::Update;
 use kkt_graphs::{EdgeId, Graph, NodeId, SpanningForest, Weight};
 
+use crate::batch::{apply_batch_pipelined, BatchError, BatchStats};
 use crate::build_mst::{build_mst, BuildOutcome};
 use crate::build_st::build_st;
 use crate::config::KktConfig;
@@ -233,8 +234,15 @@ impl MaintainedForest {
         }
     }
 
-    /// Changes the weight of edge `{u, v}` (MST only; for an ST the weight is
-    /// irrelevant and the call is a cheap no-op on the tree).
+    /// Changes the weight of edge `{u, v}`.
+    ///
+    /// For an MST, increases of tree-edge weights re-justify the edge with a
+    /// `FindMin` repair and decreases of non-tree weights run a path query;
+    /// every other case — including *every* case for an ST, whose shape does
+    /// not depend on weights — only updates the endpoints' local knowledge,
+    /// which is free in the CONGEST cost model (the same zero charge the MST
+    /// path applies to its own no-op cases). An unchanged weight is a no-op
+    /// for both kinds: nothing needs to be communicated or re-justified.
     pub fn change_weight(
         &mut self,
         u: NodeId,
@@ -243,12 +251,15 @@ impl MaintainedForest {
     ) -> Result<(), CoreError> {
         let edge = self.net.graph().edge_between(u, v).ok_or(CoreError::NoSuchEdge { u, v })?;
         let old = self.net.graph().edge(edge).weight;
+        if new_weight == old {
+            return Ok(());
+        }
         match self.kind {
             TreeKind::St => {
                 self.net.change_weight(u, v, new_weight);
                 Ok(())
             }
-            TreeKind::Mst if new_weight >= old => increase_weight_mst(
+            TreeKind::Mst if new_weight > old => increase_weight_mst(
                 &mut self.net,
                 u,
                 v,
@@ -284,18 +295,66 @@ impl MaintainedForest {
         }
     }
 
-    /// Applies a batch of updates back-to-back (a "burst": the repairs run
-    /// sequentially, with no verification or bookkeeping between them) and
-    /// returns the per-update outcomes.
+    /// Applies a batch of updates with the *batched repair pipeline* (see
+    /// [`crate::batch`]): the burst is classified once, cheap non-tree
+    /// operations apply immediately, and all severed tree edges are repaired
+    /// together — the fragment partition is computed a single time, the
+    /// per-fragment `FindMin`/`FindAny` searches run concurrently under the
+    /// congest scheduler, and fragments merge Borůvka-style so announce
+    /// broadcasts are amortized across the batch instead of paid per cut.
+    ///
+    /// The final forest is the same (unique) MST / a valid spanning forest,
+    /// exactly as if the updates had been applied one by one; only the
+    /// communication bill differs. Severed-cut deletions report
+    /// [`DeleteOutcome::BatchRepaired`] instead of naming a single
+    /// replacement edge.
     ///
     /// # Errors
     ///
-    /// Stops at the first failing update; previously applied updates of the
-    /// batch remain applied.
-    pub fn apply_batch(&mut self, updates: &[Update]) -> Result<Vec<UpdateOutcome>, CoreError> {
+    /// Stops at the first failing update. The returned [`BatchError`] carries
+    /// the outcomes of the applied prefix and the failing index, and every
+    /// cut severed by that prefix has been repaired — the forest is left in
+    /// the state `error.applied` describes.
+    pub fn apply_batch(&mut self, updates: &[Update]) -> Result<Vec<UpdateOutcome>, BatchError> {
+        self.apply_batch_detailed(updates).map(|(outcomes, _)| outcomes)
+    }
+
+    /// [`MaintainedForest::apply_batch`], additionally reporting pipeline
+    /// progress counters (consumed by experiment E10).
+    pub fn apply_batch_detailed(
+        &mut self,
+        updates: &[Update],
+    ) -> Result<(Vec<UpdateOutcome>, BatchStats), BatchError> {
+        apply_batch_pipelined(
+            &mut self.net,
+            self.kind,
+            &self.options.config,
+            &mut self.rng,
+            updates,
+        )
+    }
+
+    /// Applies a batch of updates back-to-back with the *sequential* repairs
+    /// of [`MaintainedForest::apply_update`] — one full repair per update, no
+    /// batching. This is the baseline [`MaintainedForest::apply_batch`] is
+    /// measured against.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing update; like the batched path, the error
+    /// carries the applied prefix's outcomes and the failing index.
+    pub fn apply_batch_sequential(
+        &mut self,
+        updates: &[Update],
+    ) -> Result<Vec<UpdateOutcome>, BatchError> {
         let mut outcomes = Vec::with_capacity(updates.len());
-        for update in updates {
-            outcomes.push(self.apply_update(update)?);
+        for (i, update) in updates.iter().enumerate() {
+            match self.apply_update(update) {
+                Ok(outcome) => outcomes.push(outcome),
+                Err(source) => {
+                    return Err(BatchError { applied: outcomes, failed_index: i, source })
+                }
+            }
         }
         Ok(outcomes)
     }
@@ -455,6 +514,156 @@ mod tests {
             UpdateOutcome::Reweighted
         ));
         forest.verify().unwrap();
+    }
+
+    #[test]
+    fn stale_weight_variant_labels_still_repair_to_a_valid_mst() {
+        // A pre-generated trace can carry an `IncreaseWeight` label recorded
+        // when the weight was lower (or a `DecreaseWeight` recorded when it
+        // was higher); the dispatch compares against the *current* weight, so
+        // a stale label must take the other path and still land on the MST.
+        let mut rng = StdRng::seed_from_u64(31);
+        let g = generators::connected_gnp(24, 0.3, 200, &mut rng);
+        let mut forest = MaintainedForest::build(g, TreeKind::Mst, options(32)).unwrap();
+        let e = forest.tree_edges()[2];
+        let (u, v) = forest.endpoints(e);
+        let w = forest.network().graph().edge(e).weight;
+        // "Increase" to below the current weight: must behave as a decrease.
+        assert!(w > 1, "generator weights start at 1");
+        forest.apply_update(&Update::IncreaseWeight { u, v, weight: w - 1 }).unwrap();
+        forest.verify().unwrap();
+        // "Decrease" to above the current weight: must behave as an increase
+        // (a full re-justification of the tree edge).
+        forest.apply_update(&Update::DecreaseWeight { u, v, weight: w + 500 }).unwrap();
+        forest.verify().unwrap();
+        // Stale labels inside a *batch* go through the same dispatch.
+        forest
+            .apply_batch(&[
+                Update::IncreaseWeight { u, v, weight: 2 },
+                Update::DecreaseWeight { u, v, weight: 400 },
+            ])
+            .unwrap();
+        forest.verify().unwrap();
+    }
+
+    #[test]
+    fn equal_weight_change_is_a_free_no_op() {
+        // Re-announcing the current weight must not trigger a repair (it
+        // used to run a full FindMin re-justification on tree edges).
+        let mut rng = StdRng::seed_from_u64(33);
+        let g = generators::connected_gnp(24, 0.3, 200, &mut rng);
+        for kind in [TreeKind::Mst, TreeKind::St] {
+            let mut forest = MaintainedForest::build(g.clone(), kind, options(34)).unwrap();
+            let e = forest.tree_edges()[0];
+            let (u, v) = forest.endpoints(e);
+            let w = forest.network().graph().edge(e).weight;
+            let before = forest.cost();
+            forest.change_weight(u, v, w).unwrap();
+            assert_eq!(forest.cost(), before, "{kind:?}: unchanged weight costs nothing");
+            forest.verify().unwrap();
+        }
+    }
+
+    #[test]
+    fn st_weight_changes_are_free_and_reported_like_the_mst_no_op_path() {
+        // For an ST, weights never affect the tree, so *every* weight change
+        // is a local update: zero messages, `Reweighted` outcome — exactly
+        // what the MST path charges for its own no-op case (a non-tree edge
+        // getting heavier).
+        let mut rng = StdRng::seed_from_u64(35);
+        let g = generators::connected_gnp(24, 0.3, 200, &mut rng);
+        let mut st = MaintainedForest::build(g.clone(), TreeKind::St, options(36)).unwrap();
+        let mut mst = MaintainedForest::build(g, TreeKind::Mst, options(36)).unwrap();
+
+        // ST: reweighting a tree edge and a non-tree edge both cost nothing.
+        let tree_edge = st.tree_edges()[1];
+        let (tu, tv) = st.endpoints(tree_edge);
+        let non_tree = st
+            .network()
+            .graph()
+            .live_edges()
+            .find(|e| !st.tree_edges().contains(e))
+            .expect("dense graph has non-tree edges");
+        let (nu, nv) = st.endpoints(non_tree);
+        let before = st.cost();
+        for (u, v, w) in [(tu, tv, 777), (nu, nv, 888)] {
+            let outcome = st.apply_update(&Update::IncreaseWeight { u, v, weight: w }).unwrap();
+            assert_eq!(outcome, UpdateOutcome::Reweighted);
+        }
+        assert_eq!(st.cost(), before, "ST weight changes must be free");
+        assert_eq!(st.network().graph().edge(tree_edge).weight, 777, "weight did change");
+        st.verify().unwrap();
+
+        // MST reference: the analogous no-op (non-tree increase) is also free
+        // and reports the same outcome.
+        let mst_non_tree =
+            mst.network().graph().live_edges().find(|e| !mst.tree_edges().contains(e)).unwrap();
+        let (mu, mv) = mst.endpoints(mst_non_tree);
+        let w = mst.network().graph().edge(mst_non_tree).weight;
+        let before = mst.cost();
+        let outcome =
+            mst.apply_update(&Update::IncreaseWeight { u: mu, v: mv, weight: w + 9 }).unwrap();
+        assert_eq!(outcome, UpdateOutcome::Reweighted);
+        assert_eq!(mst.cost(), before);
+    }
+
+    #[test]
+    fn sequential_batch_error_reports_prefix_and_index() {
+        let mut rng = StdRng::seed_from_u64(37);
+        let g = generators::connected_gnp(16, 0.3, 100, &mut rng);
+        let mut forest = MaintainedForest::build(g, TreeKind::Mst, options(38)).unwrap();
+        let e = forest.tree_edges()[0];
+        let (u, v) = forest.endpoints(e);
+        let missing = (0..16)
+            .flat_map(|a| (0..16).map(move |b| (a, b)))
+            .find(|&(a, b)| a != b && forest.network().graph().edge_between(a, b).is_none())
+            .unwrap();
+        let updates = vec![
+            Update::Delete { u, v },
+            Update::Delete { u: missing.0, v: missing.1 },
+            Update::Insert { u, v, weight: 3 },
+        ];
+        let err = forest.apply_batch_sequential(&updates).unwrap_err();
+        assert_eq!(err.failed_index, 1);
+        assert_eq!(err.applied.len(), 1);
+        assert!(matches!(err.applied[0], UpdateOutcome::Deleted(_)));
+        forest.verify().unwrap();
+    }
+
+    #[test]
+    fn batched_and_sequential_reach_the_same_forest_on_random_bursts() {
+        // Seeded random bursts, both tree kinds, both schedulers: the batched
+        // pipeline and one-by-one application must agree on the final forest
+        // (for the MST the snapshot is the *unique* minimum forest, so equal
+        // weight ⇔ equal snapshot).
+        for (kind, scheduler, seed) in [
+            (TreeKind::Mst, Scheduler::Synchronous, 41u64),
+            (TreeKind::Mst, Scheduler::RandomAsync { max_delay: 6 }, 42),
+            (TreeKind::St, Scheduler::Synchronous, 43),
+            (TreeKind::St, Scheduler::RandomAsync { max_delay: 6 }, 44),
+        ] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = generators::connected_gnp(28, 0.25, 300, &mut rng);
+            let updates = generators::random_update_stream(&g, 14, 300, 0.6, &mut rng);
+            let opts = MaintainOptions { repair_scheduler: scheduler, ..options(seed) };
+
+            let mut sequential = MaintainedForest::build(g.clone(), kind, opts).unwrap();
+            sequential.apply_batch_sequential(&updates).unwrap();
+            sequential.verify().unwrap();
+
+            let mut batched = MaintainedForest::build(g, kind, opts).unwrap();
+            batched.apply_batch(&updates).unwrap();
+            batched.verify().unwrap();
+
+            assert_eq!(
+                batched.tree_edges().len(),
+                sequential.tree_edges().len(),
+                "{kind:?}/{scheduler:?}"
+            );
+            if kind == TreeKind::Mst {
+                assert_eq!(batched.snapshot(), sequential.snapshot(), "{scheduler:?}");
+            }
+        }
     }
 
     #[test]

@@ -40,6 +40,11 @@ pub enum DeleteOutcome {
     Bridge,
     /// The tree was repaired by marking the returned replacement edge.
     Replaced(FoundEdge),
+    /// The cut was mended by the batched repair pipeline
+    /// ([`crate::MaintainedForest::apply_batch`]): the replacement edges and
+    /// the announce broadcast are shared across the whole batch, so no single
+    /// edge is attributable to this cut alone.
+    BatchRepaired,
 }
 
 /// Outcome of processing an edge insertion (or a weight decrease).
@@ -192,7 +197,10 @@ impl TreeAggregate for Announce {
 }
 
 /// Which endpoint initiates an operation: the one with the smaller ID, as in
-/// the paper ("if u < v then u initiates").
+/// the paper ("if u < v then u initiates"). The batched pipeline
+/// (`crate::batch`) applies the same smaller-ID rule per *fragment*
+/// (smallest severed-endpoint ID), which this single-edge helper cannot
+/// express — keep the two in sync if the rule ever changes.
 fn initiator(net: &Network, u: NodeId, v: NodeId) -> NodeId {
     if net.graph().id_of(u) <= net.graph().id_of(v) {
         u
@@ -201,7 +209,10 @@ fn initiator(net: &Network, u: NodeId, v: NodeId) -> NodeId {
     }
 }
 
-fn announce(net: &mut Network, root: NodeId, payload: u128) -> Result<(), CoreError> {
+/// One decision broadcast through the tree containing `root`, charged at its
+/// true cost of `2(|T| − 1)` messages. The fragment-level entry point the
+/// single-cut repairs below and the batched pipeline (`crate::batch`) share.
+pub(crate) fn announce(net: &mut Network, root: NodeId, payload: u128) -> Result<(), CoreError> {
     run_broadcast_echo(net, root, Announce { payload })?;
     Ok(())
 }

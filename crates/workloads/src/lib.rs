@@ -11,14 +11,16 @@
 //!   fingerprinted so the same seed always yields a byte-identical trace.
 //! * **Scenario generators** — composable [`Scenario`] implementations:
 //!   memoryless [`PoissonChurn`], MST-severing [`AdversarialTreeCut`],
-//!   partition-and-heal failure bursts ([`PartitionHeal`]), hot-edge
+//!   partition-and-heal failure bursts ([`PartitionHeal`]), simultaneous
+//!   independent tree-edge failures ([`MultiEdgeCuts`]), hot-edge
 //!   [`WeightDrift`], and sequential [`MixedPhases`] lifecycles.
 //! * **Replay** — [`ReplayHarness`] drives a trace through a
 //!   [`MaintenancePolicy`]: the paper's impromptu repairs on a
-//!   [`kkt_core::MaintainedForest`], or rebuild-from-scratch baselines
-//!   (`Build MST` rerun, GHS, flooding), under synchronous or random-async
-//!   delivery, verifying against the sequential Kruskal oracle at
-//!   checkpoints.
+//!   [`kkt_core::MaintainedForest`] (one repair per primitive, or burst-wise
+//!   batched via [`MaintenancePolicy::BatchedRepair`]), or
+//!   rebuild-from-scratch baselines (`Build MST` rerun, GHS, flooding),
+//!   under synchronous or random-async delivery, verifying against the
+//!   sequential Kruskal oracle at checkpoints.
 //! * **Reports** — per-event and cumulative [`ReplayReport`]s, and the
 //!   multi-scenario [`ChurnSuiteReport`] the `exp9_churn_policies` binary
 //!   serialises as deterministic JSON.
@@ -54,8 +56,8 @@ pub use fingerprint::{fingerprint_hex, fnv1a64};
 pub use replay::{MaintenancePolicy, ReplayConfig, ReplayError, ReplayHarness};
 pub use report::{ChurnSuiteReport, EventCost, ReplayReport, ScenarioComparison};
 pub use scenarios::{
-    standard_suite, AdversarialTreeCut, MixedPhases, PartitionHeal, PoissonChurn, Scenario,
-    WeightDrift,
+    standard_suite, AdversarialTreeCut, MixedPhases, MultiEdgeCuts, PartitionHeal, PoissonChurn,
+    Scenario, WeightDrift,
 };
 pub use suite::{run_churn_suite, SuiteParams};
 pub use workload::{Workload, WorkloadStats};

@@ -10,7 +10,8 @@ use rand::SeedableRng;
 use kkt_baselines::{build_mst_ghs, build_st_by_flooding};
 use kkt_congest::{CongestError, CostReport, Network, NetworkConfig, Scheduler};
 use kkt_core::{
-    build_mst, build_st, CoreError, KktConfig, MaintainOptions, MaintainedForest, TreeKind,
+    build_mst, build_st, BatchError, CoreError, KktConfig, MaintainOptions, MaintainedForest,
+    TreeKind,
 };
 use kkt_graphs::generators::Update;
 use kkt_graphs::{verify_mst, verify_spanning_forest, Graph};
@@ -23,8 +24,14 @@ use crate::workload::Workload;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MaintenancePolicy {
     /// The paper's impromptu repairs through [`MaintainedForest`] —
-    /// `Õ(n)` communication per update.
+    /// `Õ(n)` communication per update, one full repair per primitive even
+    /// inside bursts (the *sequential* baseline).
     Impromptu,
+    /// Impromptu repairs with burst batching
+    /// ([`MaintainedForest::apply_batch`]): each burst is classified once and
+    /// all severed tree edges are mended in one pipelined Borůvka pass with
+    /// concurrent per-fragment searches and amortized announces.
+    BatchedRepair,
     /// Rebuild from scratch with the paper's own `Build MST`/`Build ST`
     /// after every top-level event (bursts trigger one rebuild).
     RebuildKkt,
@@ -41,6 +48,7 @@ impl MaintenancePolicy {
     pub fn label(self) -> &'static str {
         match self {
             MaintenancePolicy::Impromptu => "impromptu_repair",
+            MaintenancePolicy::BatchedRepair => "batched_repair",
             MaintenancePolicy::RebuildKkt => "rebuild_kkt",
             MaintenancePolicy::RebuildGhs => "rebuild_ghs",
             MaintenancePolicy::RebuildFlood => "rebuild_flood",
@@ -50,16 +58,19 @@ impl MaintenancePolicy {
     /// Whether the policy can maintain the given structure kind.
     pub fn supports(self, kind: TreeKind) -> bool {
         match self {
-            MaintenancePolicy::Impromptu | MaintenancePolicy::RebuildKkt => true,
+            MaintenancePolicy::Impromptu
+            | MaintenancePolicy::BatchedRepair
+            | MaintenancePolicy::RebuildKkt => true,
             MaintenancePolicy::RebuildGhs => kind == TreeKind::Mst,
             MaintenancePolicy::RebuildFlood => kind == TreeKind::St,
         }
     }
 
-    /// The policies applicable to `kind`, impromptu first.
+    /// The policies applicable to `kind`, impromptu (sequential) first.
     pub fn all_for(kind: TreeKind) -> Vec<MaintenancePolicy> {
         [
             MaintenancePolicy::Impromptu,
+            MaintenancePolicy::BatchedRepair,
             MaintenancePolicy::RebuildKkt,
             MaintenancePolicy::RebuildGhs,
             MaintenancePolicy::RebuildFlood,
@@ -111,6 +122,10 @@ pub enum ReplayError {
     InvalidTrace(String),
     /// A repair algorithm failed.
     Core(CoreError),
+    /// A batch application failed partway. The wrapped [`BatchError`] names
+    /// the failing update and the outcomes of the applied prefix, so the
+    /// harness can report exactly which state the forest was left in.
+    Batch(BatchError),
     /// A baseline failed.
     Congest(CongestError),
     /// The maintained structure diverged from the sequential oracle.
@@ -130,6 +145,7 @@ impl fmt::Display for ReplayError {
             }
             ReplayError::InvalidTrace(msg) => write!(f, "invalid trace: {msg}"),
             ReplayError::Core(e) => write!(f, "repair failed: {e}"),
+            ReplayError::Batch(e) => write!(f, "repair failed: {e}"),
             ReplayError::Congest(e) => write!(f, "baseline failed: {e}"),
             ReplayError::OracleMismatch { event, detail } => {
                 write!(f, "oracle mismatch after event {event}: {detail}")
@@ -143,6 +159,12 @@ impl std::error::Error for ReplayError {}
 impl From<CoreError> for ReplayError {
     fn from(e: CoreError) -> Self {
         ReplayError::Core(e)
+    }
+}
+
+impl From<BatchError> for ReplayError {
+    fn from(e: BatchError) -> Self {
+        ReplayError::Batch(e)
     }
 }
 
@@ -195,7 +217,9 @@ impl ReplayHarness {
         }
         workload.check_applicable(base).map_err(ReplayError::InvalidTrace)?;
         match policy {
-            MaintenancePolicy::Impromptu => self.replay_impromptu(base, workload),
+            MaintenancePolicy::Impromptu | MaintenancePolicy::BatchedRepair => {
+                self.replay_impromptu(base, workload, policy)
+            }
             _ => self.replay_rebuild(base, workload, policy),
         }
     }
@@ -229,12 +253,13 @@ impl ReplayHarness {
         }
     }
 
-    // -- impromptu ---------------------------------------------------------
+    // -- impromptu (sequential and batched) --------------------------------
 
     fn replay_impromptu(
         &self,
         base: &Graph,
         workload: &Workload,
+        policy: MaintenancePolicy,
     ) -> Result<ReplayReport, ReplayError> {
         let options = MaintainOptions {
             config: KktConfig::default(),
@@ -243,7 +268,7 @@ impl ReplayHarness {
             seed: self.config.seed,
         };
         let mut forest = MaintainedForest::build(base.clone(), self.config.kind, options)?;
-        let mut report = self.report_skeleton(base, workload, MaintenancePolicy::Impromptu);
+        let mut report = self.report_skeleton(base, workload, policy);
         report.build = forest.build_cost();
 
         // The shadow tracks the evolving topology so weight-change events
@@ -254,7 +279,12 @@ impl ReplayHarness {
             let updates =
                 primitives_as_updates(event, &mut shadow).map_err(ReplayError::InvalidTrace)?;
             let before = forest.cost();
-            forest.apply_batch(&updates)?;
+            match policy {
+                // One full repair per primitive, even inside bursts.
+                MaintenancePolicy::Impromptu => forest.apply_batch_sequential(&updates)?,
+                // Bursts repaired in one pipelined pass.
+                _ => forest.apply_batch(&updates)?,
+            };
             let delta = forest.cost() - before;
             report.push_event(i, event.kind(), delta);
             if self.checkpoint_due(i, total) {
@@ -308,7 +338,9 @@ impl ReplayHarness {
                     build_st_by_flooding(&mut net, root)?;
                 }
             }
-            (MaintenancePolicy::Impromptu, _) => unreachable!("handled by replay_impromptu"),
+            (MaintenancePolicy::Impromptu | MaintenancePolicy::BatchedRepair, _) => {
+                unreachable!("handled by replay_impromptu")
+            }
         }
         let cost = net.cost();
         Ok((net, cost))
@@ -391,7 +423,7 @@ fn component_representatives(g: &Graph) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenarios::{PartitionHeal, PoissonChurn, Scenario};
+    use crate::scenarios::{MultiEdgeCuts, PartitionHeal, PoissonChurn, Scenario};
     use kkt_graphs::generators;
 
     fn base(seed: u64) -> Graph {
@@ -437,6 +469,50 @@ mod tests {
     }
 
     #[test]
+    fn batched_repair_verifies_on_every_standard_scenario_and_both_kinds() {
+        let g = base(7);
+        for kind in [TreeKind::Mst, TreeKind::St] {
+            let harness = ReplayHarness::new(ReplayConfig { kind, ..ReplayConfig::default() });
+            for scenario in crate::scenarios::standard_suite(300) {
+                let w = scenario.generate(&g, 6, 11);
+                let report = harness
+                    .replay(&g, &w, MaintenancePolicy::BatchedRepair)
+                    .unwrap_or_else(|e| panic!("{:?}/{}: {e}", kind, scenario.id()));
+                assert!(report.checkpoints_verified > 0);
+                assert_eq!(report.policy, "batched_repair");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_repair_beats_sequential_on_multi_edge_bursts() {
+        let g = base(8);
+        let w = MultiEdgeCuts { burst_size: 5, max_weight: 300 }.generate(&g, 6, 13);
+        let harness = ReplayHarness::default();
+        let sequential = harness.replay(&g, &w, MaintenancePolicy::Impromptu).unwrap();
+        let batched = harness.replay(&g, &w, MaintenancePolicy::BatchedRepair).unwrap();
+        assert_eq!(sequential.checkpoints_verified, w.len());
+        assert_eq!(batched.checkpoints_verified, w.len());
+        assert!(
+            batched.total.bits < sequential.total.bits,
+            "batched {} bits vs sequential {} bits",
+            batched.total.bits,
+            sequential.total.bits
+        );
+    }
+
+    #[test]
+    fn batched_replay_is_deterministic() {
+        let g = base(9);
+        let w = MultiEdgeCuts::default().generate(&g, 4, 15);
+        let harness = ReplayHarness::default();
+        let a = harness.replay(&g, &w, MaintenancePolicy::BatchedRepair).unwrap();
+        let b = harness.replay(&g, &w, MaintenancePolicy::BatchedRepair).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
     fn unsupported_policy_is_rejected() {
         let g = base(4);
         let w = PoissonChurn::default().generate(&g, 2, 8);
@@ -446,8 +522,9 @@ mod tests {
             Err(ReplayError::UnsupportedPolicy { .. })
         ));
         assert!(!MaintenancePolicy::RebuildGhs.supports(TreeKind::St));
-        assert_eq!(MaintenancePolicy::all_for(TreeKind::Mst).len(), 3);
-        assert_eq!(MaintenancePolicy::all_for(TreeKind::St).len(), 3);
+        assert!(MaintenancePolicy::BatchedRepair.supports(TreeKind::St));
+        assert_eq!(MaintenancePolicy::all_for(TreeKind::Mst).len(), 4);
+        assert_eq!(MaintenancePolicy::all_for(TreeKind::St).len(), 4);
     }
 
     #[test]

@@ -354,6 +354,115 @@ impl Scenario for PartitionHeal {
 }
 
 // ---------------------------------------------------------------------------
+// 3b. Multi-edge simultaneous failures
+// ---------------------------------------------------------------------------
+
+/// Simultaneous failures of `k` *independent* tree edges per burst: unlike
+/// [`PartitionHeal`]'s geographic cuts, the severed edges are spread across
+/// the current minimum spanning forest (pairwise non-adjacent where
+/// possible), and their simultaneous removal keeps the network connected —
+/// every cut has a replacement, so the burst measures pure repair work. Each
+/// failure burst is followed by a replenishment burst inserting `k` fresh
+/// random edges, keeping density stationary over long traces.
+///
+/// This is the workload where batching either wins or dies: a sequential
+/// replay repairs the `k` cuts one at a time (each search walking a fragment
+/// that is almost the whole tree), while a batched replay mends the whole
+/// fragment partition in one pipelined pass.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiEdgeCuts {
+    /// Tree edges severed per burst (`k`).
+    pub burst_size: usize,
+    /// Maximum raw weight for replenishing insertions.
+    pub max_weight: Weight,
+}
+
+impl Default for MultiEdgeCuts {
+    fn default() -> Self {
+        MultiEdgeCuts { burst_size: 4, max_weight: 1_000 }
+    }
+}
+
+impl MultiEdgeCuts {
+    /// Up to `burst_size` current-tree edges whose *joint* removal keeps the
+    /// graph connected, preferring pairwise vertex-disjoint picks.
+    fn pick_burst(&self, g: &Graph, rng: &mut StdRng) -> Vec<(NodeId, NodeId)> {
+        let tree = kruskal(g);
+        let mut candidates: Vec<EdgeId> = g.live_edges().filter(|&e| tree.contains(e)).collect();
+        // Deterministic shuffle: the candidate order is a pure function of
+        // the scenario RNG state.
+        for i in (1..candidates.len()).rev() {
+            candidates.swap(i, rng.gen_range(0..=i));
+        }
+        let mut probe = g.clone();
+        let mut touched = vec![false; g.node_count()];
+        let mut picked = Vec::new();
+        for disjoint_only in [true, false] {
+            for &e in &candidates {
+                if picked.len() == self.burst_size {
+                    return picked;
+                }
+                let edge = *g.edge(e);
+                if probe.edge_between(edge.u, edge.v).is_none() {
+                    continue; // already severed by this burst
+                }
+                if disjoint_only && (touched[edge.u] || touched[edge.v]) {
+                    continue;
+                }
+                probe.remove_edge(edge.u, edge.v);
+                if probe.component_count() > 1 {
+                    probe.add_edge(edge.u, edge.v, edge.weight);
+                    continue;
+                }
+                touched[edge.u] = true;
+                touched[edge.v] = true;
+                picked.push((edge.u, edge.v));
+            }
+        }
+        picked
+    }
+}
+
+impl Scenario for MultiEdgeCuts {
+    fn id(&self) -> String {
+        format!("multi_edge_cuts(k={})", self.burst_size)
+    }
+
+    fn generate(&self, base: &Graph, events: usize, seed: u64) -> Workload {
+        let id = self.id();
+        let mut rng = scenario_rng(&id, seed);
+        let mut shadow = base.clone();
+        let mut out = Vec::with_capacity(events);
+        while out.len() + 2 <= events {
+            let burst = self.pick_burst(&shadow, &mut rng);
+            if burst.is_empty() {
+                break;
+            }
+            let failures = WorkloadEvent::Burst {
+                events: burst.iter().map(|&(u, v)| WorkloadEvent::DeleteEdge { u, v }).collect(),
+            };
+            failures.apply_to_graph(&mut shadow).expect("picked edges are live");
+            let mut replenish = Vec::new();
+            for _ in 0..burst.len() {
+                let Some((u, v)) = random_absent_pair(&shadow, &mut rng) else { break };
+                let event = WorkloadEvent::InsertEdge {
+                    u,
+                    v,
+                    weight: random_weight(self.max_weight, &mut rng),
+                };
+                event.apply_to_graph(&mut shadow).expect("absent pair is insertable");
+                replenish.push(event);
+            }
+            out.push(failures);
+            if !replenish.is_empty() {
+                out.push(WorkloadEvent::Burst { events: replenish });
+            }
+        }
+        finish(id, seed, base, out)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // 4. Weight drift on hot edges
 // ---------------------------------------------------------------------------
 
@@ -558,6 +667,51 @@ mod tests {
         assert!(stats.bursts >= 2);
         assert!(stats.max_components > 1, "the partition must actually disconnect");
         assert_eq!(stats.final_edges, g.edge_count(), "healing restores every link");
+    }
+
+    #[test]
+    fn multi_edge_cuts_severs_independent_tree_edges_and_stays_connected() {
+        let g = base(8);
+        for k in [1usize, 4, 8] {
+            let scenario = MultiEdgeCuts { burst_size: k, max_weight: 500 };
+            let w = scenario.generate(&g, 6, 23);
+            let stats = w.validate(&g).unwrap();
+            assert!(stats.bursts >= 2, "k={k}: failure + replenish bursts");
+            assert!(stats.deletions > 0);
+            assert_eq!(
+                stats.tree_edge_deletions, stats.deletions,
+                "k={k}: every severed edge is a current-tree edge"
+            );
+            assert_eq!(stats.max_components, 1, "k={k}: the network never partitions");
+            // Failure bursts carry exactly k deletions (the base graph is
+            // dense enough for a full pick at these sizes).
+            let delete_bursts: Vec<usize> = w
+                .events
+                .iter()
+                .filter_map(|e| match e {
+                    WorkloadEvent::Burst { events }
+                        if matches!(events[0], WorkloadEvent::DeleteEdge { .. }) =>
+                    {
+                        Some(events.len())
+                    }
+                    _ => None,
+                })
+                .collect();
+            assert!(!delete_bursts.is_empty());
+            assert!(delete_bursts.iter().all(|&len| len == k), "k={k}: {delete_bursts:?}");
+        }
+    }
+
+    #[test]
+    fn multi_edge_cuts_is_deterministic_per_seed() {
+        let g = base(9);
+        let scenario = MultiEdgeCuts::default();
+        let a = scenario.generate(&g, 8, 77);
+        let b = scenario.generate(&g, 8, 77);
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = scenario.generate(&g, 8, 78);
+        assert_ne!(a.events, c.events);
     }
 
     #[test]

@@ -116,7 +116,7 @@ mod tests {
         let report = run_churn_suite(&tiny()).unwrap();
         assert_eq!(report.scenarios.len(), 5);
         for s in &report.scenarios {
-            assert_eq!(s.reports.len(), 3, "{}", s.scenario);
+            assert_eq!(s.reports.len(), 4, "{}", s.scenario);
             for r in &s.reports {
                 assert!(r.checkpoints_verified > 0);
             }

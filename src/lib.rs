@@ -26,8 +26,8 @@
 //! The runnable examples live in `examples/` (`quickstart`,
 //! `dynamic_network`, `broadcast_tree`, `compare_baselines`,
 //! `churn_stress`) and the experiment harness in the `kkt-bench` crate
-//! (whose `exp1`…`exp9` binaries are registered on this package, so
-//! `cargo run --bin exp9_churn_policies` works from the repository root).
+//! (whose `exp1`…`exp10` binaries are registered on this package, so
+//! `cargo run --bin exp10_batched_repair` works from the repository root).
 //!
 //! ```rust
 //! use kkt::{MaintainOptions, MaintainedForest, TreeKind};
@@ -51,6 +51,6 @@ pub use kkt_hashing as hashing;
 pub use kkt_workloads as workloads;
 
 pub use kkt_core::{
-    CoreError, DeleteOutcome, FoundEdge, InsertOutcome, KktConfig, MaintainOptions,
-    MaintainedForest, TreeKind, UpdateOutcome,
+    BatchError, BatchStats, CoreError, DeleteOutcome, FoundEdge, InsertOutcome, KktConfig,
+    MaintainOptions, MaintainedForest, TreeKind, UpdateOutcome,
 };
