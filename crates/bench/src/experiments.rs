@@ -15,8 +15,9 @@ use kkt_core::{
 };
 use kkt_graphs::{generators, kruskal, Graph};
 use kkt_workloads::{
-    run_churn_suite, ChurnSuiteReport, MaintenancePolicy, MultiEdgeCuts, ReplayConfig,
-    ReplayHarness, Scenario, ScenarioComparison, SuiteParams,
+    run_churn_suite, AdversarialTreeCut, ChurnSuiteReport, MaintenancePolicy, MultiEdgeCuts,
+    PoissonChurn, ReplayConfig, ReplayHarness, ScalePoint, ScaleSweepReport, Scenario,
+    ScenarioComparison, SuiteParams,
 };
 
 use crate::stats::Summary;
@@ -450,14 +451,11 @@ pub fn exp9_churn_policies(scale: Scale, seed: u64) -> (Table, ChurnSuiteReport)
             seed,
             ..SuiteParams::default()
         },
-        Scale::Large => SuiteParams {
-            n: 128,
-            m: 8 * 128,
-            events: 40,
-            verify_every: 5,
-            seed,
-            ..SuiteParams::default()
-        },
+        // The ROADMAP's Scale item: the large tier runs the whole battery at
+        // n = 1024 through the `scale_preset` ladder (incremental-oracle
+        // checkpoints and the index-addressed engine are what make this a
+        // minutes-scale sweep instead of an hours-scale one).
+        Scale::Large => SuiteParams { seed, ..SuiteParams::scale_preset(1024) },
     };
     let report = run_churn_suite(&params).expect("churn suite replays and verifies");
     let mut table = Table::new(
@@ -512,6 +510,7 @@ pub fn exp10_batched_repair(scale: Scale, seed: u64) -> (Table, ChurnSuiteReport
         scheduler: params.scheduler,
         verify_every: params.verify_every,
         seed,
+        paranoid: false,
     });
     let policies = [
         MaintenancePolicy::Impromptu,
@@ -575,6 +574,131 @@ pub fn exp10_batched_repair(scale: Scale, seed: u64) -> (Table, ChurnSuiteReport
                 r.total.bits.to_string(),
                 r.total.time.to_string(),
                 format!("{:.2}x", r.total.bits as f64 / sequential_bits as f64),
+                r.checkpoints_verified.to_string(),
+            ]);
+        }
+    }
+    (table, report)
+}
+
+/// E11 — the scale sweep: one Poisson-churn scenario instantiated at a
+/// ladder of network sizes (the `SuiteParams::scale_preset` rungs), replayed
+/// under all four MST policies, pricing **bits per event vs n**. This is the
+/// regime where the paper's asymptotics either show up or don't: at n ≤ 200
+/// constant factors drown the `O(n log²n / log log n)`-vs-`Θ(m)` separation,
+/// at n ≥ 1024 the per-event repair bill has to grow visibly slower than the
+/// rebuild baselines'.
+///
+/// `only_n` restricts the sweep to a single rung (the `KKT_EXP11_N`
+/// environment variable in the binary) — CI uses it to run the n = 1024
+/// scenario twice inside a wall-clock budget and assert byte-identical
+/// reports.
+///
+/// Returns the printable table *and* the sealed deterministic JSON report.
+pub fn exp11_scale_sweep(
+    scale: Scale,
+    seed: u64,
+    only_n: Option<usize>,
+) -> (Table, ScaleSweepReport) {
+    let sizes: Vec<usize> = scale
+        .scale_sweep_sizes()
+        .into_iter()
+        .filter(|&n| only_n.is_none_or(|only| only == n))
+        .collect();
+    // An unmatched restriction must fail loudly: an empty sweep would exit 0
+    // with an empty report, and the CI determinism guard would green-light
+    // while comparing two trivially identical files.
+    assert!(
+        !sizes.is_empty(),
+        "KKT_EXP11_N={:?} matches no rung of the {:?} ladder {:?}",
+        only_n,
+        scale,
+        scale.scale_sweep_sizes()
+    );
+    let policies = MaintenancePolicy::all_for(kkt_core::TreeKind::Mst);
+    let mut points = Vec::new();
+    let mut scheduler = String::new();
+    for n in sizes {
+        let params = SuiteParams { seed, ..SuiteParams::scale_preset(n) };
+        let base = params.base_graph();
+        let harness = ReplayHarness::new(ReplayConfig {
+            kind: params.kind,
+            scheduler: params.scheduler,
+            verify_every: params.verify_every,
+            seed,
+            paranoid: false,
+        });
+        scheduler = kkt_workloads::report::scheduler_label(params.scheduler);
+        // Two regimes per rung: steady-state background churn, and the
+        // adversary that severs a current tree edge on every deletion —
+        // the latter forces a real FindMin repair per event, which is what
+        // the repair-vs-rebuild scaling exponents are measured on.
+        let scenarios: Vec<Box<dyn Scenario>> = vec![
+            Box::new(PoissonChurn { delete_fraction: 0.5, max_weight: params.max_weight }),
+            Box::new(AdversarialTreeCut { max_weight: params.max_weight }),
+        ];
+        for scenario in scenarios {
+            let workload = scenario.generate(&base, params.events, seed);
+            let stats = workload.validate(&base).expect("generated trace is applicable");
+            let mut reports = Vec::new();
+            for &policy in &policies {
+                reports.push(
+                    harness
+                        .replay(&base, &workload, policy)
+                        .expect("every checkpoint verifies against the shadow oracle"),
+                );
+            }
+            points.push(ScalePoint {
+                n: base.node_count(),
+                m: base.edge_count(),
+                events: workload.len(),
+                verify_every: params.verify_every,
+                scenario: workload.scenario.clone(),
+                workload_fingerprint: workload.fingerprint(),
+                stats,
+                reports,
+            });
+        }
+    }
+    let mut report = ScaleSweepReport {
+        seed,
+        tree_kind: "mst".to_string(),
+        scheduler,
+        points,
+        fingerprint: String::new(),
+    };
+    report.seal();
+
+    let mut table = Table::new(
+        "E11: scale sweep — bits per event vs n, repair policies vs rebuild baselines",
+        &[
+            "n",
+            "m",
+            "scenario",
+            "policy",
+            "events",
+            "bits_total",
+            "bits/event",
+            "msgs/event",
+            "vs_rebuild(bits)",
+            "checkpoints",
+        ],
+    );
+    for point in &report.points {
+        let rebuild_bits =
+            point.report_for("rebuild_kkt").map(|r| r.total.bits).unwrap_or(0).max(1);
+        for r in &point.reports {
+            let events = r.top_level_events.max(1) as f64;
+            table.push_row(vec![
+                point.n.to_string(),
+                point.m.to_string(),
+                point.scenario.clone(),
+                r.policy.clone(),
+                r.top_level_events.to_string(),
+                r.total.bits.to_string(),
+                format!("{:.0}", r.total.bits as f64 / events),
+                format!("{:.0}", r.total.messages as f64 / events),
+                format!("{:.3}x", r.total.bits as f64 / rebuild_bits as f64),
                 r.checkpoints_verified.to_string(),
             ]);
         }
@@ -656,6 +780,60 @@ mod tests {
     fn exp10_report_is_deterministic() {
         let a = exp10_batched_repair(Scale::Quick, 42).1;
         let b = exp10_batched_repair(Scale::Quick, 42).1;
+        assert_eq!(a, b);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "same seed must give byte-identical JSON"
+        );
+    }
+
+    #[test]
+    fn exp11_quick_sweep_prices_all_four_policies() {
+        let (table, report) = exp11_scale_sweep(Scale::Quick, 0xFEED, None);
+        assert_eq!(report.points.len(), 4, "two rungs (n = 64, 256) x two scenarios");
+        assert_eq!(table.len(), 4 * 4);
+        assert_eq!(report.fingerprint.len(), 16);
+        for point in &report.points {
+            assert_eq!(point.reports.len(), 4, "n={}", point.n);
+            for r in &point.reports {
+                assert!(r.checkpoints_verified > 0, "n={} {}", point.n, r.policy);
+            }
+            let repair = point.report_for("impromptu_repair").unwrap();
+            let rebuild = point.report_for("rebuild_kkt").unwrap();
+            assert!(
+                repair.total.bits < rebuild.total.bits,
+                "n={} {}: repair ({} bits) must undercut rebuild ({} bits)",
+                point.n,
+                point.scenario,
+                repair.total.bits,
+                rebuild.total.bits
+            );
+        }
+        // The adversarial regime really forces repairs: every deletion is a
+        // current-tree edge.
+        let adversarial =
+            report.points.iter().find(|p| p.scenario == "adversarial_tree_cut").unwrap();
+        assert_eq!(adversarial.stats.tree_edge_deletions, adversarial.stats.deletions);
+        assert!(adversarial.stats.deletions > 0);
+    }
+
+    #[test]
+    fn exp11_only_n_restricts_the_sweep() {
+        let (table, report) = exp11_scale_sweep(Scale::Quick, 7, Some(64));
+        assert_eq!(report.points.len(), 2);
+        assert!(report.points.iter().all(|p| p.n == 64));
+        assert_eq!(table.len(), 2 * 4);
+        // The restricted run prices its rungs identically to the full sweep.
+        let (_, full) = exp11_scale_sweep(Scale::Quick, 7, None);
+        assert_eq!(report.points[0], full.points[0]);
+        assert_eq!(report.points[1], full.points[1]);
+    }
+
+    #[test]
+    fn exp11_report_is_deterministic() {
+        let a = exp11_scale_sweep(Scale::Quick, 42, Some(64)).1;
+        let b = exp11_scale_sweep(Scale::Quick, 42, Some(64)).1;
         assert_eq!(a, b);
         assert_eq!(
             serde_json::to_string(&a).unwrap(),

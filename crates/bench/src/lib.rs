@@ -52,6 +52,17 @@ impl Scale {
         }
     }
 
+    /// Node counts for the dynamic-scenario scale sweep (E11): the sizes the
+    /// `SuiteParams::scale_preset` ladder is tuned for. The quick tier stays
+    /// CI-cheap; the large tier is the n ≥ 1024 regime the asymptotic claims
+    /// need (`KKT_EXP11_N` restricts a run to one rung).
+    pub fn scale_sweep_sizes(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![64, 256],
+            Scale::Large => vec![256, 1024, 4096],
+        }
+    }
+
     /// Trials per configuration.
     pub fn trials(self) -> usize {
         match self {

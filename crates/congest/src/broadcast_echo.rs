@@ -18,8 +18,6 @@
 //! aggregate value handed to every node's program is configuration for the
 //! *root*, mirroring "x broadcasts h in one message".
 
-use std::collections::HashMap;
-
 use kkt_graphs::NodeId;
 
 use crate::engine::{Engine, Outbox, Protocol};
@@ -109,15 +107,17 @@ impl<A: TreeAggregate> BroadcastEcho<A> {
         out: &mut Outbox<BeMsg<A::Down, A::Up>>,
     ) {
         let local = self.aggregate.local(view, &down);
-        let children: Vec<NodeId> =
-            view.tree_edges().map(|e| e.neighbor).filter(|&x| Some(x) != parent).collect();
+        // Two passes over the (cached) view instead of collecting the
+        // children into a per-activation vector: this runs once per node per
+        // wave, on the engine's hottest path.
+        let children = || view.tree_edges().map(|e| e.neighbor).filter(|&x| Some(x) != parent);
         self.parent = parent;
-        self.pending = children.len();
+        self.pending = children().count();
         if self.pending == 0 {
             // Leaf (or isolated root): echo immediately.
             self.complete(view, local, out, &down);
         } else {
-            for c in children {
+            for c in children() {
                 out.send(c, BeMsg::Down(down.clone()));
             }
             self.acc = Some(local);
@@ -234,15 +234,26 @@ pub fn run_broadcast_echoes<A: TreeAggregate>(
     if runs.is_empty() {
         return Ok(Vec::new());
     }
-    let mut by_root: HashMap<NodeId, A> = HashMap::with_capacity(runs.len());
-    for (root, aggregate) in &runs {
-        if *root >= net.node_count() {
-            return Err(CongestError::InvalidNode(*root));
-        }
-        if by_root.insert(*root, aggregate.clone()).is_some() {
+    // Root lookup as a sorted index table instead of a per-wave HashMap: the
+    // engine consults it once per materialised node, and waves are launched
+    // thousands of times per construction/batch, so allocation and hashing
+    // here is pure overhead.
+    let mut by_root: Vec<(NodeId, usize)> =
+        runs.iter().enumerate().map(|(i, (root, _))| (*root, i)).collect();
+    by_root.sort_unstable();
+    for pair in by_root.windows(2) {
+        if pair[0].0 == pair[1].0 {
             // A duplicated root is a bad argument (one node cannot initiate
             // two concurrent waves over the same tree), same class as an
             // out-of-range root.
+            return Err(CongestError::InvalidNode(pair[0].0));
+        }
+    }
+    // Validate every root before recording any cost, so a rejected call
+    // leaves the network's accounting untouched (callers that survive errors
+    // keep using the network).
+    for (root, _) in &runs {
+        if *root >= net.node_count() {
             return Err(CongestError::InvalidNode(*root));
         }
     }
@@ -250,16 +261,18 @@ pub fn run_broadcast_echoes<A: TreeAggregate>(
         net.cost_mut().record_broadcast_echo();
     }
     let initiators: Vec<NodeId> = runs.iter().map(|(root, _)| *root).collect();
-    let fallback = runs[0].1.clone();
-    let (mut programs, _stats) = Engine::run(net, &initiators, |node| match by_root.get(&node) {
-        // Each root runs its own parameterised instance; other nodes act on
-        // the broadcast payloads alone, so any instance serves them.
-        Some(aggregate) => BroadcastEcho::new(aggregate.clone(), true),
-        None => BroadcastEcho::new(fallback.clone(), false),
+    let fallback = &runs[0].1;
+    let (mut programs, _stats) = Engine::run(net, &initiators, |node| {
+        match by_root.binary_search_by_key(&node, |&(root, _)| root) {
+            // Each root runs its own parameterised instance; other nodes act
+            // on the broadcast payloads alone, so any instance serves them.
+            Ok(i) => BroadcastEcho::new(runs[by_root[i].1].1.clone(), true),
+            Err(_) => BroadcastEcho::new(fallback.clone(), false),
+        }
     })?;
     initiators
         .iter()
-        .map(|root| {
+        .map(|&root| {
             programs
                 .get_mut(root)
                 .and_then(|p| p.output.take())

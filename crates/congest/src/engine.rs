@@ -27,7 +27,7 @@
 //! broadcast-and-echoes on fragments of all sizes.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -37,7 +37,7 @@ use kkt_graphs::NodeId;
 
 use crate::error::CongestError;
 use crate::message::BitSized;
-use crate::model::{Network, NodeView};
+use crate::model::{Network, NetworkConfig, NodeView};
 
 /// Message-delivery timing model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -60,7 +60,10 @@ impl Scheduler {
     }
 }
 
-/// Buffer of messages a node emits during one activation.
+/// Buffer of messages a node emits during one activation. The engine keeps
+/// one per run and drains it after every activation, so the staging vector's
+/// allocation is reused across the whole run instead of paid per message
+/// delivery.
 #[derive(Debug)]
 pub struct Outbox<M> {
     staged: Vec<(NodeId, M)>,
@@ -155,13 +158,125 @@ impl<M> Ord for Event<M> {
     }
 }
 
-/// The per-node program states touched by a run, keyed by node.
-pub type ProgramMap<P> = HashMap<NodeId, P>;
+/// The per-node program states touched by a run.
+///
+/// Index-addressed replacement for the old `HashMap<NodeId, P>` routing
+/// state: a dense `u32` slot table maps every node to a packed vector of
+/// activated programs, so the engine's per-delivery lookup is two array
+/// indexations instead of a hash. Program state (and the cached KT1 view the
+/// engine keeps alongside) is still materialised only for nodes that were
+/// actually activated — simulating an operation on a small fragment stays
+/// proportional to the fragment, the slot table costs one `memset` per run.
+#[derive(Debug)]
+pub struct ProgramMap<P> {
+    slots: Vec<u32>,
+    entries: Vec<(NodeId, P)>,
+}
+
+const EMPTY_SLOT: u32 = u32::MAX;
+
+impl<P> ProgramMap<P> {
+    fn new(n: usize) -> Self {
+        ProgramMap { slots: vec![EMPTY_SLOT; n], entries: Vec::new() }
+    }
+
+    fn index_of(&self, node: NodeId) -> Option<usize> {
+        match self.slots.get(node) {
+            Some(&slot) if slot != EMPTY_SLOT => Some(slot as usize),
+            _ => None,
+        }
+    }
+
+    /// The program state of `node`, if it was activated during the run.
+    pub fn get(&self, node: NodeId) -> Option<&P> {
+        self.index_of(node).map(|i| &self.entries[i].1)
+    }
+
+    /// Mutable access to the program state of `node`, if it was activated.
+    pub fn get_mut(&mut self, node: NodeId) -> Option<&mut P> {
+        self.index_of(node).map(|i| &mut self.entries[i].1)
+    }
+
+    /// Number of nodes that were activated.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no node was ever activated.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The activated nodes' program states, in activation order.
+    pub fn values(&self) -> impl Iterator<Item = &P> {
+        self.entries.iter().map(|(_, p)| p)
+    }
+
+    /// `(node, program)` pairs in activation order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &P)> {
+        self.entries.iter().map(|(x, p)| (*x, p))
+    }
+}
 
 /// The simulation engine. Stateless; all state lives in the [`Network`] and
 /// the protocol instances.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Engine;
+
+/// One node activation: materialises the program (and caches its KT1 view)
+/// on first touch, delivers `incoming` (or fires `on_start`), then drains
+/// the outbox into the event queue. A free function instead of a closure so
+/// the disjoint field borrows stay legible.
+#[allow(clippy::too_many_arguments)]
+fn activate<P: Protocol>(
+    net: &Network,
+    config: &NetworkConfig,
+    programs: &mut ProgramMap<P>,
+    views: &mut Vec<NodeView>,
+    queue: &mut BinaryHeap<Event<P::Msg>>,
+    out: &mut Outbox<P::Msg>,
+    delay_rng: &mut StdRng,
+    seq: &mut u64,
+    make: &mut impl FnMut(NodeId) -> P,
+    node: NodeId,
+    now: u64,
+    incoming: Option<(NodeId, P::Msg)>,
+) -> Result<(), CongestError> {
+    let idx = match programs.index_of(node) {
+        Some(idx) => idx,
+        None => {
+            let idx = programs.entries.len();
+            programs.slots[node] = idx as u32;
+            programs.entries.push((node, make(node)));
+            // The topology and markings are fixed for the duration of a run,
+            // so the O(degree) view is built once per touched node instead of
+            // once per delivered message.
+            views.push(net.view(node));
+            idx
+        }
+    };
+    let view = &views[idx];
+    let program = &mut programs.entries[idx].1;
+    match incoming {
+        None => program.on_start(view, out),
+        Some((from, msg)) => program.on_message(from, msg, view, out),
+    }
+    for (to, msg) in out.staged.drain(..) {
+        if view.edge_to(to).is_none() {
+            return Err(CongestError::NotANeighbor { from: node, to });
+        }
+        let bits = msg.bit_size();
+        if let Some(limit) = config.bandwidth_limit {
+            if bits > limit {
+                return Err(CongestError::BandwidthExceeded { bits, limit });
+            }
+        }
+        let delay = config.scheduler.delay(delay_rng);
+        *seq += 1;
+        queue.push(Event { time: now + delay, seq: *seq, from: node, to, msg });
+    }
+    Ok(())
+}
 
 impl Engine {
     /// Runs a protocol until quiescence.
@@ -186,49 +301,36 @@ impl Engine {
         // RNG so runs are reproducible and do not fight the borrow checker for
         // access to `net` mid-activation.
         let mut delay_rng = StdRng::seed_from_u64(net.rng_mut().gen());
-        let mut programs: ProgramMap<P> = HashMap::new();
-        let mut queue: BinaryHeap<Event<P::Msg>> = BinaryHeap::new();
+        let mut programs: ProgramMap<P> = ProgramMap::new(n);
+        let mut views: Vec<NodeView> = Vec::new();
+        // Pre-size the event heap: a broadcast-style wave keeps at most one
+        // in-flight message per tree edge of the touched fragments, so a few
+        // slots per initiator avoids the early doubling re-allocations
+        // without over-committing for small-fragment runs.
+        let mut queue: BinaryHeap<Event<P::Msg>> =
+            BinaryHeap::with_capacity((initiators.len() * 4).clamp(64, 4 * n.max(16)));
+        let mut out = Outbox::new();
         let mut seq = 0u64;
         let mut stats = RunStats::default();
-
-        let mut activate = |net: &Network,
-                            programs: &mut ProgramMap<P>,
-                            queue: &mut BinaryHeap<Event<P::Msg>>,
-                            delay_rng: &mut StdRng,
-                            seq: &mut u64,
-                            node: NodeId,
-                            now: u64,
-                            incoming: Option<(NodeId, P::Msg)>|
-         -> Result<(), CongestError> {
-            let view = net.view(node);
-            let program = programs.entry(node).or_insert_with(|| make(node));
-            let mut out = Outbox::new();
-            match incoming {
-                None => program.on_start(&view, &mut out),
-                Some((from, msg)) => program.on_message(from, msg, &view, &mut out),
-            }
-            for (to, msg) in out.staged {
-                if view.edge_to(to).is_none() {
-                    return Err(CongestError::NotANeighbor { from: node, to });
-                }
-                let bits = msg.bit_size();
-                if let Some(limit) = config.bandwidth_limit {
-                    if bits > limit {
-                        return Err(CongestError::BandwidthExceeded { bits, limit });
-                    }
-                }
-                let delay = config.scheduler.delay(delay_rng);
-                *seq += 1;
-                queue.push(Event { time: now + delay, seq: *seq, from: node, to, msg });
-            }
-            Ok(())
-        };
 
         for &x in initiators {
             if x >= n {
                 return Err(CongestError::InvalidNode(x));
             }
-            activate(net, &mut programs, &mut queue, &mut delay_rng, &mut seq, x, 0, None)?;
+            activate(
+                net,
+                &config,
+                &mut programs,
+                &mut views,
+                &mut queue,
+                &mut out,
+                &mut delay_rng,
+                &mut seq,
+                &mut make,
+                x,
+                0,
+                None,
+            )?;
         }
 
         while let Some(ev) = queue.pop() {
@@ -243,10 +345,14 @@ impl Engine {
             net.cost_mut().record_message(bits);
             activate(
                 net,
+                &config,
                 &mut programs,
+                &mut views,
                 &mut queue,
+                &mut out,
                 &mut delay_rng,
                 &mut seq,
+                &mut make,
                 ev.to,
                 ev.time,
                 Some((ev.from, ev.msg)),

@@ -110,7 +110,7 @@ pub fn flood_spanning_tree(net: &mut Network, root: NodeId) -> Result<FloodOutco
     let mut tree_edges = Vec::new();
     let mut reached = Vec::new();
     for x in 0..net.node_count() {
-        let Some(p) = programs.get(&x) else { continue };
+        let Some(p) = programs.get(x) else { continue };
         if p.joined {
             reached.push(x);
         }

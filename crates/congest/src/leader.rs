@@ -124,7 +124,7 @@ pub fn elect_leaders(net: &mut Network) -> Result<LeaderElection, CongestError> 
     let mut unheard = vec![Vec::new(); n];
     for x in 0..n {
         let default = Saturation::default();
-        let p = programs.get(&x).unwrap_or(&default);
+        let p = programs.get(x).unwrap_or(&default);
         is_leader[x] = p.is_leader;
         unheard[x] = net
             .view(x)

@@ -35,10 +35,12 @@ pub mod generators;
 pub mod graph;
 pub mod metrics;
 pub mod mst;
+pub mod oracle;
 pub mod paths;
 pub mod union_find;
 
 pub use edge::{EdgeId, EdgeNumber, UniqueWeight, Weight};
 pub use graph::{Edge, Graph, NodeId};
 pub use mst::{kruskal, prim, verify_mst, verify_spanning_forest, SpanningForest};
+pub use oracle::ShadowOracle;
 pub use union_find::UnionFind;

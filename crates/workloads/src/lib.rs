@@ -54,7 +54,9 @@ pub mod workload;
 pub use event::WorkloadEvent;
 pub use fingerprint::{fingerprint_hex, fnv1a64};
 pub use replay::{MaintenancePolicy, ReplayConfig, ReplayError, ReplayHarness};
-pub use report::{ChurnSuiteReport, EventCost, ReplayReport, ScenarioComparison};
+pub use report::{
+    ChurnSuiteReport, EventCost, ReplayReport, ScalePoint, ScaleSweepReport, ScenarioComparison,
+};
 pub use scenarios::{
     standard_suite, AdversarialTreeCut, MixedPhases, MultiEdgeCuts, PartitionHeal, PoissonChurn,
     Scenario, WeightDrift,

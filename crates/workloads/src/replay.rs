@@ -1,6 +1,15 @@
 //! The replay harness: drives a [`Workload`] through a maintenance policy
 //! on the simulated network, verifying against the sequential oracle at
 //! checkpoints and accounting every bit.
+//!
+//! Checkpoints are verified against the **incremental shadow oracle**
+//! ([`ShadowOracle`]): the oracle applies every primitive to its own copy of
+//! the evolving graph, maintaining the unique minimum spanning forest by
+//! cut/cycle rules in `O(n)`-ish work per event, so a checkpoint comparison
+//! is an edge-for-edge diff instead of the full Kruskal re-run the harness
+//! used to pay (`O(m log m)` per checkpoint — the wall-clock blocker for
+//! n ≥ 1024 replays). The full sequential verification is retained behind
+//! [`ReplayConfig::paranoid`].
 
 use std::fmt;
 
@@ -14,7 +23,7 @@ use kkt_core::{
     TreeKind,
 };
 use kkt_graphs::generators::Update;
-use kkt_graphs::{verify_mst, verify_spanning_forest, Graph};
+use kkt_graphs::{verify_mst, verify_spanning_forest, Graph, ShadowOracle, SpanningForest};
 
 use crate::event::WorkloadEvent;
 use crate::report::{scheduler_label, ReplayReport};
@@ -95,6 +104,12 @@ pub struct ReplayConfig {
     pub verify_every: usize,
     /// Master seed: all protocol coins and delivery delays derive from it.
     pub seed: u64,
+    /// Paranoid checkpoints: in addition to the `O(n)` incremental-oracle
+    /// comparison, re-run the full sequential verification (a fresh Kruskal
+    /// over the shadow graph, cross-checked against the incremental forest).
+    /// Costs what the pre-oracle harness paid on every checkpoint; off by
+    /// default.
+    pub paranoid: bool,
 }
 
 impl Default for ReplayConfig {
@@ -104,6 +119,7 @@ impl Default for ReplayConfig {
             scheduler: Scheduler::RandomAsync { max_delay: 8 },
             verify_every: 1,
             seed: 0x5EED,
+            paranoid: false,
         }
     }
 }
@@ -253,6 +269,34 @@ impl ReplayHarness {
         }
     }
 
+    /// Verifies a claimed forest snapshot against the incremental shadow
+    /// oracle (and, in paranoid mode, against the full sequential path too).
+    fn verify_checkpoint(
+        &self,
+        oracle: &ShadowOracle,
+        snapshot: &SpanningForest,
+        event: usize,
+    ) -> Result<(), ReplayError> {
+        let fast = match self.config.kind {
+            TreeKind::Mst => oracle.verify_msf(snapshot),
+            TreeKind::St => oracle.verify_forest(snapshot),
+        };
+        fast.map_err(|detail| ReplayError::OracleMismatch { event, detail })?;
+        if self.config.paranoid {
+            oracle
+                .self_check()
+                .and_then(|()| match self.config.kind {
+                    TreeKind::Mst => verify_mst(oracle.graph(), snapshot),
+                    TreeKind::St => verify_spanning_forest(oracle.graph(), snapshot),
+                })
+                .map_err(|detail| ReplayError::OracleMismatch {
+                    event,
+                    detail: format!("paranoid check: {detail}"),
+                })?;
+        }
+        Ok(())
+    }
+
     // -- impromptu (sequential and batched) --------------------------------
 
     fn replay_impromptu(
@@ -271,13 +315,14 @@ impl ReplayHarness {
         let mut report = self.report_skeleton(base, workload, policy);
         report.build = forest.build_cost();
 
-        // The shadow tracks the evolving topology so weight-change events
-        // convert to the right Update direction even inside bursts.
-        let mut shadow = base.clone();
+        // The oracle's shadow graph tracks the evolving topology so
+        // weight-change events convert to the right Update direction even
+        // inside bursts, while its incremental forest prices checkpoints.
+        let mut oracle = ShadowOracle::new(base);
         let total = workload.len();
         for (i, event) in workload.events.iter().enumerate() {
             let updates =
-                primitives_as_updates(event, &mut shadow).map_err(ReplayError::InvalidTrace)?;
+                primitives_as_updates(event, &mut oracle).map_err(ReplayError::InvalidTrace)?;
             let before = forest.cost();
             match policy {
                 // One full repair per primitive, even inside bursts.
@@ -288,9 +333,7 @@ impl ReplayHarness {
             let delta = forest.cost() - before;
             report.push_event(i, event.kind(), delta);
             if self.checkpoint_due(i, total) {
-                forest
-                    .verify()
-                    .map_err(|detail| ReplayError::OracleMismatch { event: i, detail })?;
+                self.verify_checkpoint(&oracle, &forest.snapshot(), i)?;
                 report.checkpoints_verified += 1;
             }
         }
@@ -346,15 +389,6 @@ impl ReplayHarness {
         Ok((net, cost))
     }
 
-    fn verify_network(&self, net: &Network, event: usize) -> Result<(), ReplayError> {
-        let snapshot = net.marked_forest_snapshot();
-        let result = match self.config.kind {
-            TreeKind::Mst => verify_mst(net.graph(), &snapshot),
-            TreeKind::St => verify_spanning_forest(net.graph(), &snapshot),
-        };
-        result.map_err(|detail| ReplayError::OracleMismatch { event, detail })
-    }
-
     fn replay_rebuild(
         &self,
         base: &Graph,
@@ -362,17 +396,17 @@ impl ReplayHarness {
         policy: MaintenancePolicy,
     ) -> Result<ReplayReport, ReplayError> {
         let mut report = self.report_skeleton(base, workload, policy);
-        let mut graph = base.clone();
-        let (_, build_cost) = self.rebuild(&graph, policy, usize::MAX)?;
+        let mut oracle = ShadowOracle::new(base);
+        let (_, build_cost) = self.rebuild(oracle.graph(), policy, usize::MAX)?;
         report.build = build_cost;
 
         let total = workload.len();
         for (i, event) in workload.events.iter().enumerate() {
-            event.apply_to_graph(&mut graph).map_err(ReplayError::InvalidTrace)?;
-            let (net, cost) = self.rebuild(&graph, policy, i)?;
+            primitives_as_updates(event, &mut oracle).map_err(ReplayError::InvalidTrace)?;
+            let (net, cost) = self.rebuild(oracle.graph(), policy, i)?;
             report.push_event(i, event.kind(), cost);
             if self.checkpoint_due(i, total) {
-                self.verify_network(&net, i)?;
+                self.verify_checkpoint(&oracle, &net.marked_forest_snapshot(), i)?;
                 report.checkpoints_verified += 1;
             }
         }
@@ -382,14 +416,17 @@ impl ReplayHarness {
 }
 
 /// Flattens a top-level event into `Update`s against (and applied to) the
-/// evolving shadow graph.
-fn primitives_as_updates(event: &WorkloadEvent, shadow: &mut Graph) -> Result<Vec<Update>, String> {
+/// evolving shadow oracle.
+fn primitives_as_updates(
+    event: &WorkloadEvent,
+    oracle: &mut ShadowOracle,
+) -> Result<Vec<Update>, String> {
     let mut updates = Vec::new();
     for primitive in event.primitives() {
         let update = primitive
-            .as_update(shadow)
+            .as_update(oracle.graph())
             .ok_or_else(|| format!("inapplicable event {primitive:?}"))?;
-        primitive.apply_to_graph(shadow)?;
+        oracle.apply(&update)?;
         updates.push(update);
     }
     Ok(updates)
@@ -510,6 +547,69 @@ mod tests {
         let b = harness.replay(&g, &w, MaintenancePolicy::BatchedRepair).unwrap();
         assert_eq!(a, b);
         assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn checkpoint_due_boundaries() {
+        let with = |verify_every| {
+            ReplayHarness::new(ReplayConfig { verify_every, ..ReplayConfig::default() })
+        };
+        // verify_every = 0: the final event only.
+        let h0 = with(0);
+        assert!((0..9).all(|i| !h0.checkpoint_due(i, 10)));
+        assert!(h0.checkpoint_due(9, 10));
+        assert!(h0.checkpoint_due(0, 1), "a one-event trace checkpoints its only event");
+        // verify_every = 1: every event.
+        let h1 = with(1);
+        assert!((0..10).all(|i| h1.checkpoint_due(i, 10)));
+        // verify_every = k: every k-th event, plus the last even when the
+        // trace length is not a multiple of k.
+        let h4 = with(4);
+        let due: Vec<usize> = (0..10).filter(|&i| h4.checkpoint_due(i, 10)).collect();
+        assert_eq!(due, vec![3, 7, 9], "events 4, 8 and the final 10th");
+        // ... and no double-count when the last event is itself a multiple.
+        let due8: Vec<usize> = (0..8).filter(|&i| h4.checkpoint_due(i, 8)).collect();
+        assert_eq!(due8, vec![3, 7]);
+        // An interval larger than the trace still verifies the end.
+        let h99 = with(99);
+        let due99: Vec<usize> = (0..5).filter(|&i| h99.checkpoint_due(i, 5)).collect();
+        assert_eq!(due99, vec![4]);
+    }
+
+    #[test]
+    fn verify_every_zero_and_one_count_checkpoints() {
+        // The checkpoint arithmetic observed end-to-end: the report's
+        // verified count matches the boundary rules.
+        let g = base(10);
+        let w = PoissonChurn::default().generate(&g, 7, 21);
+        assert_eq!(w.len(), 7);
+        for (verify_every, expected) in [(0usize, 1usize), (1, 7), (3, 3), (7, 1), (99, 1)] {
+            let harness =
+                ReplayHarness::new(ReplayConfig { verify_every, ..ReplayConfig::default() });
+            let report = harness.replay(&g, &w, MaintenancePolicy::Impromptu).unwrap();
+            assert_eq!(
+                report.checkpoints_verified,
+                expected,
+                "verify_every = {verify_every} over {} events",
+                w.len()
+            );
+        }
+    }
+
+    #[test]
+    fn paranoid_mode_replays_and_verifies() {
+        // Paranoid checkpoints run the incremental oracle *and* the full
+        // sequential verification; costs and fingerprints must not change.
+        let g = base(11);
+        let w = MultiEdgeCuts::default().generate(&g, 4, 27);
+        let fast = ReplayHarness::default();
+        let paranoid =
+            ReplayHarness::new(ReplayConfig { paranoid: true, ..ReplayConfig::default() });
+        for policy in [MaintenancePolicy::Impromptu, MaintenancePolicy::RebuildKkt] {
+            let a = fast.replay(&g, &w, policy).unwrap();
+            let b = paranoid.replay(&g, &w, policy).unwrap();
+            assert_eq!(a, b, "{}: paranoid mode is observationally identical", policy.label());
+        }
     }
 
     #[test]

@@ -161,6 +161,59 @@ impl ChurnSuiteReport {
     }
 }
 
+/// One scale point of the E11 sweep: a scenario instantiated at a given `n`
+/// and replayed under every applicable policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalePoint {
+    /// Nodes of this point's base graph.
+    pub n: usize,
+    /// Live edges of this point's base graph.
+    pub m: usize,
+    /// Top-level events of the trace.
+    pub events: usize,
+    /// Checkpoint interval the replays ran with (`0` = final event only).
+    pub verify_every: usize,
+    /// Scenario identifier.
+    pub scenario: String,
+    /// Fingerprint of the generated trace.
+    pub workload_fingerprint: String,
+    /// Trace statistics from validation.
+    pub stats: WorkloadStats,
+    /// One report per policy, impromptu first.
+    pub reports: Vec<ReplayReport>,
+}
+
+impl ScalePoint {
+    /// The report for a given policy label, if present.
+    pub fn report_for(&self, policy: &str) -> Option<&ReplayReport> {
+        self.reports.iter().find(|r| r.policy == policy)
+    }
+}
+
+/// The document `exp11_scale_sweep` emits: the same scenario replayed at a
+/// ladder of network sizes, pricing bits-per-event vs `n` for every policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaleSweepReport {
+    /// Master seed.
+    pub seed: u64,
+    /// `mst` or `st`.
+    pub tree_kind: String,
+    /// Scheduler label.
+    pub scheduler: String,
+    /// One entry per swept `n`, ascending.
+    pub points: Vec<ScalePoint>,
+    /// FNV-1a fingerprint over the serialised `points` array.
+    pub fingerprint: String,
+}
+
+impl ScaleSweepReport {
+    /// Seals the report: computes the fingerprint over the point array.
+    pub fn seal(&mut self) {
+        let body = serde_json::to_string(&self.points).expect("points serialise");
+        self.fingerprint = fingerprint_hex(&body);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -35,9 +35,19 @@ pub struct SuiteParams {
 
 impl Default for SuiteParams {
     fn default() -> Self {
+        Self::with_n(48)
+    }
+}
+
+impl SuiteParams {
+    /// Default-shaped parameters for an arbitrary `n`: the target edge count
+    /// is *derived* from `n` at the default density ratio `m/n = 4` (the
+    /// old `Default` hard-coded `m = 4 * 48` as a literal, so overriding `n`
+    /// silently kept a 48-node edge budget).
+    pub fn with_n(n: usize) -> Self {
         SuiteParams {
-            n: 48,
-            m: 4 * 48,
+            n,
+            m: 4 * n,
             max_weight: 1_000,
             events: 16,
             seed: 0xC0DE,
@@ -46,9 +56,23 @@ impl Default for SuiteParams {
             verify_every: 4,
         }
     }
-}
 
-impl SuiteParams {
+    /// The `KKT_SCALE=large` presets of the scale sweeps (exp9, exp11),
+    /// tuned for n ∈ {256, 1024, 4096}: density stays at the default ratio
+    /// while the event budget and checkpoint interval taper with `n`, so a
+    /// single scenario stays inside a CI-sized wall-clock at n = 1024 and
+    /// above.
+    pub fn scale_preset(n: usize) -> Self {
+        let (events, verify_every) = if n >= 4096 {
+            (8, 0) // final-event checkpoint only
+        } else if n >= 1024 {
+            (12, 6)
+        } else {
+            (16, 4)
+        };
+        SuiteParams { events, verify_every, ..Self::with_n(n) }
+    }
+
     /// The deterministic base graph of the run.
     pub fn base_graph(&self) -> Graph {
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0xBA5E_6AF0);
@@ -70,6 +94,7 @@ pub fn run_churn_suite(params: &SuiteParams) -> Result<ChurnSuiteReport, ReplayE
         scheduler: params.scheduler,
         verify_every: params.verify_every,
         seed: params.seed,
+        paranoid: false,
     });
     let mut scenarios = Vec::new();
     for scenario in standard_suite(params.max_weight) {
@@ -122,6 +147,33 @@ mod tests {
             }
         }
         assert_eq!(report.fingerprint.len(), 16);
+    }
+
+    #[test]
+    fn with_n_keeps_the_density_ratio() {
+        let d = SuiteParams::default();
+        assert_eq!(d.n, 48);
+        assert_eq!(d.m, 4 * d.n, "default m is derived from n");
+        for n in [16usize, 48, 256, 1024, 4096] {
+            let p = SuiteParams::with_n(n);
+            assert_eq!(p.n, n);
+            assert_eq!(p.m, 4 * n, "with_n must keep m/n = 4");
+            assert_eq!(p.events, d.events);
+            assert_eq!(p.verify_every, d.verify_every);
+            assert_eq!(p.seed, d.seed);
+        }
+    }
+
+    #[test]
+    fn scale_presets_taper_with_n() {
+        let p256 = SuiteParams::scale_preset(256);
+        let p1024 = SuiteParams::scale_preset(1024);
+        let p4096 = SuiteParams::scale_preset(4096);
+        for p in [&p256, &p1024, &p4096] {
+            assert_eq!(p.m, 4 * p.n, "presets keep the density ratio");
+        }
+        assert!(p256.events >= p1024.events && p1024.events >= p4096.events);
+        assert_eq!(p4096.verify_every, 0, "largest preset checkpoints the final event only");
     }
 
     #[test]

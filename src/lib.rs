@@ -26,8 +26,8 @@
 //! The runnable examples live in `examples/` (`quickstart`,
 //! `dynamic_network`, `broadcast_tree`, `compare_baselines`,
 //! `churn_stress`) and the experiment harness in the `kkt-bench` crate
-//! (whose `exp1`…`exp10` binaries are registered on this package, so
-//! `cargo run --bin exp10_batched_repair` works from the repository root).
+//! (whose `exp1`…`exp11` binaries are registered on this package, so
+//! `cargo run --bin exp11_scale_sweep` works from the repository root).
 //!
 //! ```rust
 //! use kkt::{MaintainOptions, MaintainedForest, TreeKind};

@@ -116,6 +116,58 @@ fn batched_repair_bits_are_strictly_below_sequential_for_k_at_least_4() {
     }
 }
 
+/// Batch-path equivalence at scale: on one `multi_edge_cuts` trace over an
+/// n = 512 network, `apply_batch` and `apply_batch_sequential` produce
+/// identical final forests under both schedulers, and both pass the
+/// incremental shadow-oracle check. The forests adopt a precomputed Kruskal
+/// MST so the test prices the *repair* paths, not the construction.
+#[test]
+fn batch_paths_agree_at_n_512() {
+    use kkt::graphs::{kruskal, ShadowOracle};
+
+    let n = 512;
+    let mut rng = StdRng::seed_from_u64(51);
+    let g = generators::connected_with_edges(n, 4 * n, 1_000, &mut rng);
+    let workload = MultiEdgeCuts { burst_size: 4, max_weight: 1_000 }.generate(&g, 2, 77);
+    assert!(workload.primitive_count() >= 8, "failure burst plus replenish burst");
+
+    // Flatten the trace once through the shadow oracle (which doubles as the
+    // ground truth the final forests are checked against).
+    let mut oracle = ShadowOracle::new(&g);
+    let mut updates = Vec::new();
+    for event in &workload.events {
+        for primitive in event.primitives() {
+            let update = primitive.as_update(oracle.graph()).expect("trace is applicable");
+            oracle.apply(&update).unwrap();
+            updates.push(update);
+        }
+    }
+
+    let mst = kruskal(&g);
+    for scheduler in [Scheduler::Synchronous, Scheduler::RandomAsync { max_delay: 6 }] {
+        let options = MaintainOptions {
+            repair_scheduler: scheduler,
+            seed: 512,
+            ..MaintainOptions::default()
+        };
+
+        let mut sequential =
+            MaintainedForest::adopt(g.clone(), TreeKind::Mst, &mst.edges, options).unwrap();
+        sequential.apply_batch_sequential(&updates).unwrap();
+
+        let mut batched =
+            MaintainedForest::adopt(g.clone(), TreeKind::Mst, &mst.edges, options).unwrap();
+        batched.apply_batch(&updates).unwrap();
+
+        assert_eq!(
+            batched.snapshot(),
+            sequential.snapshot(),
+            "{scheduler:?}: batch paths must land on the identical MST"
+        );
+        oracle.verify_msf(&batched.snapshot()).unwrap_or_else(|e| panic!("{scheduler:?}: {e}"));
+    }
+}
+
 /// The partial-failure contract survives the facade: a failing batch names
 /// the failing update, carries the applied prefix's outcomes, and leaves the
 /// forest verifiable.

@@ -86,8 +86,12 @@ fn replay_verifies_under_both_schedulers_and_kinds() {
     let w = PoissonChurn::default().generate(&g, 10, 9);
     for kind in [TreeKind::Mst, TreeKind::St] {
         for scheduler in [Scheduler::Synchronous, Scheduler::RandomAsync { max_delay: 8 }] {
-            let harness =
-                ReplayHarness::new(ReplayConfig { kind, scheduler, verify_every: 1, seed: 0x5EED });
+            let harness = ReplayHarness::new(ReplayConfig {
+                kind,
+                scheduler,
+                verify_every: 1,
+                ..ReplayConfig::default()
+            });
             for policy in MaintenancePolicy::all_for(kind) {
                 let report = harness
                     .replay(&g, &w, policy)
