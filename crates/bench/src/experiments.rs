@@ -7,6 +7,8 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use serde::{Deserialize, Serialize};
+
 use kkt_baselines::{build_mst_ghs, build_st_by_flooding, flood_repair_delete};
 use kkt_congest::{Network, NetworkConfig};
 use kkt_core::{
@@ -15,9 +17,9 @@ use kkt_core::{
 };
 use kkt_graphs::{generators, kruskal, Graph};
 use kkt_workloads::{
-    run_churn_suite, AdversarialTreeCut, ChurnSuiteReport, MaintenancePolicy, MultiEdgeCuts,
-    PoissonChurn, ReplayConfig, ReplayHarness, ScalePoint, ScaleSweepReport, Scenario,
-    ScenarioComparison, SuiteParams,
+    run_churn_suite, AdversarialTreeCut, ChurnSuiteReport, MaintenancePolicy, MixedPhases,
+    MultiEdgeCuts, PoissonChurn, ReplayConfig, ReplayHarness, ScalePoint, ScaleSweepReport,
+    Scenario, ScenarioComparison, SuiteParams,
 };
 
 use crate::stats::Summary;
@@ -706,6 +708,145 @@ pub fn exp11_scale_sweep(
     (table, report)
 }
 
+/// One policy's timing at one rung of the E12 wall-clock sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WallclockPolicy {
+    /// Policy label (`impromptu_repair`, `batched_repair`, …).
+    pub policy: String,
+    /// End-to-end wall-clock seconds of the replay (build + events +
+    /// checkpoints), as measured on the machine that ran the binary.
+    pub seconds: f64,
+    /// Total message bits of the replay — the cost-model invariant: this
+    /// column must not move when the data plane gets faster.
+    pub bits: u64,
+    /// Total messages of the replay (same invariance contract as `bits`).
+    pub messages: u64,
+    /// Oracle checkpoints verified during the replay.
+    pub checkpoints: usize,
+}
+
+/// One rung (network size) of the E12 wall-clock sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WallclockRung {
+    /// Nodes.
+    pub n: usize,
+    /// Live edges of the base graph.
+    pub m: usize,
+    /// Top-level events of the trace.
+    pub events: usize,
+    /// Scenario id of the replayed trace.
+    pub scenario: String,
+    /// Per-policy timings.
+    pub policies: Vec<WallclockPolicy>,
+}
+
+/// The sealed output of [`exp12_wallclock`] (`BENCH_*.json` family).
+///
+/// Unlike the exp9–exp11 reports this one is **not** fingerprinted: the
+/// `seconds` fields are machine- and run-dependent by nature. The `bits` /
+/// `messages` columns are the determinism anchor instead — they must match
+/// the cost-model reports exactly, which is what ties a wall-clock number to
+/// a specific, verified replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WallclockReport {
+    /// Report schema version (`BENCH_PR4.json` documents the fields).
+    pub schema: u32,
+    /// Master seed of the traces and protocol coins.
+    pub seed: u64,
+    /// `quick` or `large`.
+    pub scale: String,
+    /// Per-rung timings.
+    pub rungs: Vec<WallclockRung>,
+}
+
+/// E12 — wall-clock of the data plane: the mixed-lifecycle churn trace (the
+/// `mixed_lifecycle` battery member that exercises deletions, insertions,
+/// partitions, healing and weight drift in one trace) replayed under every
+/// MST policy at the `scale_preset` ladder, timed end-to-end. The cost-model
+/// columns (bits/messages) must be byte-for-byte what exp9/exp11 would
+/// record; only `seconds` is allowed to change across machines or PRs — a
+/// pure data-plane optimization shows up here and *only* here.
+pub fn exp12_wallclock(scale: Scale, seed: u64, only_n: Option<usize>) -> (Table, WallclockReport) {
+    let sizes: Vec<usize> = scale
+        .scale_sweep_sizes()
+        .into_iter()
+        .filter(|&n| only_n.is_none_or(|only| only == n))
+        .collect();
+    assert!(
+        !sizes.is_empty(),
+        "KKT_EXP12_N={:?} matches no rung of the {:?} ladder {:?}",
+        only_n,
+        scale,
+        scale.scale_sweep_sizes()
+    );
+    let policies = MaintenancePolicy::all_for(kkt_core::TreeKind::Mst);
+    let mut rungs = Vec::new();
+    for n in sizes {
+        let params = SuiteParams { seed, ..SuiteParams::scale_preset(n) };
+        let base = params.base_graph();
+        let harness = ReplayHarness::new(ReplayConfig {
+            kind: params.kind,
+            scheduler: params.scheduler,
+            verify_every: params.verify_every,
+            seed,
+            paranoid: false,
+        });
+        let scenario = MixedPhases::standard(params.max_weight);
+        let workload = scenario.generate(&base, params.events, seed);
+        let mut timed = Vec::new();
+        for &policy in &policies {
+            let start = std::time::Instant::now();
+            let report = harness
+                .replay(&base, &workload, policy)
+                .expect("every checkpoint verifies against the shadow oracle");
+            let seconds = start.elapsed().as_secs_f64();
+            timed.push(WallclockPolicy {
+                policy: report.policy.clone(),
+                seconds,
+                bits: report.total.bits,
+                messages: report.total.messages,
+                checkpoints: report.checkpoints_verified,
+            });
+        }
+        rungs.push(WallclockRung {
+            n: base.node_count(),
+            m: base.edge_count(),
+            events: workload.len(),
+            scenario: workload.scenario.clone(),
+            policies: timed,
+        });
+    }
+    let report = WallclockReport {
+        schema: 1,
+        seed,
+        scale: match scale {
+            Scale::Quick => "quick".to_string(),
+            Scale::Large => "large".to_string(),
+        },
+        rungs,
+    };
+
+    let mut table = Table::new(
+        "E12: wall-clock of the data plane — mixed-lifecycle replay, seconds per policy",
+        &["n", "m", "scenario", "policy", "events", "seconds", "bits_total", "checkpoints"],
+    );
+    for rung in &report.rungs {
+        for p in &rung.policies {
+            table.push_row(vec![
+                rung.n.to_string(),
+                rung.m.to_string(),
+                rung.scenario.clone(),
+                p.policy.clone(),
+                rung.events.to_string(),
+                format!("{:.3}", p.seconds),
+                p.bits.to_string(),
+                p.checkpoints.to_string(),
+            ]);
+        }
+    }
+    (table, report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -840,6 +981,27 @@ mod tests {
             serde_json::to_string(&b).unwrap(),
             "same seed must give byte-identical JSON"
         );
+    }
+
+    #[test]
+    fn exp12_wallclock_prices_all_four_policies_and_anchors_costs() {
+        let (table, report) = exp12_wallclock(Scale::Quick, 0xFEED, Some(64));
+        assert_eq!(report.rungs.len(), 1);
+        assert_eq!(table.len(), 4);
+        let rung = &report.rungs[0];
+        assert_eq!(rung.n, 64);
+        assert_eq!(rung.policies.len(), 4);
+        for p in &rung.policies {
+            assert!(p.seconds >= 0.0, "{}: wall-clock is non-negative", p.policy);
+            assert!(p.bits > 0 && p.messages > 0, "{}: cost columns are real", p.policy);
+            assert!(p.checkpoints > 0, "{}: every replay verified", p.policy);
+        }
+        // The cost columns are the determinism anchor: a second run must
+        // reproduce them exactly (only `seconds` may differ).
+        let (_, again) = exp12_wallclock(Scale::Quick, 0xFEED, Some(64));
+        for (a, b) in report.rungs[0].policies.iter().zip(&again.rungs[0].policies) {
+            assert_eq!((a.bits, a.messages, a.checkpoints), (b.bits, b.messages, b.checkpoints));
+        }
     }
 
     #[test]

@@ -107,17 +107,17 @@ impl<A: TreeAggregate> BroadcastEcho<A> {
         out: &mut Outbox<BeMsg<A::Down, A::Up>>,
     ) {
         let local = self.aggregate.local(view, &down);
-        // Two passes over the (cached) view instead of collecting the
-        // children into a per-activation vector: this runs once per node per
-        // wave, on the engine's hottest path.
-        let children = || view.tree_edges().map(|e| e.neighbor).filter(|&x| Some(x) != parent);
+        // The child count comes from the view's O(1) tree degree (the parent,
+        // when present, is by construction one of the tree neighbours), so
+        // the only adjacency pass is the send loop itself — this runs once
+        // per node per wave, on the engine's hottest path.
         self.parent = parent;
-        self.pending = children().count();
+        self.pending = view.tree_degree() - usize::from(parent.is_some());
         if self.pending == 0 {
             // Leaf (or isolated root): echo immediately.
             self.complete(view, local, out, &down);
         } else {
-            for c in children() {
+            for c in view.tree_neighbors().filter(|&x| Some(x) != parent) {
                 out.send(c, BeMsg::Down(down.clone()));
             }
             self.acc = Some(local);

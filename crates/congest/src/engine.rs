@@ -37,7 +37,7 @@ use kkt_graphs::NodeId;
 
 use crate::error::CongestError;
 use crate::message::BitSized;
-use crate::model::{Network, NetworkConfig, NodeView};
+use crate::model::{Network, NetworkConfig, NodeView, ViewCache};
 
 /// Message-delivery timing model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -223,16 +223,19 @@ impl<P> ProgramMap<P> {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Engine;
 
-/// One node activation: materialises the program (and caches its KT1 view)
-/// on first touch, delivers `incoming` (or fires `on_start`), then drains
-/// the outbox into the event queue. A free function instead of a closure so
-/// the disjoint field borrows stay legible.
+/// One node activation: materialises the program on first touch, delivers
+/// `incoming` (or fires `on_start`), then drains the outbox into the event
+/// queue. A free function instead of a closure so the disjoint field borrows
+/// stay legible. Views are *borrowed* from the network's persistent
+/// [`ViewCache`] — the topology and markings are fixed for the duration of a
+/// run, and across runs the cache is invalidated per dirtied endpoint, so no
+/// per-run (let alone per-delivery) view rebuild happens at all.
 #[allow(clippy::too_many_arguments)]
 fn activate<P: Protocol>(
     net: &Network,
     config: &NetworkConfig,
     programs: &mut ProgramMap<P>,
-    views: &mut Vec<NodeView>,
+    views: &mut ViewCache,
     queue: &mut BinaryHeap<Event<P::Msg>>,
     out: &mut Outbox<P::Msg>,
     delay_rng: &mut StdRng,
@@ -248,14 +251,10 @@ fn activate<P: Protocol>(
             let idx = programs.entries.len();
             programs.slots[node] = idx as u32;
             programs.entries.push((node, make(node)));
-            // The topology and markings are fixed for the duration of a run,
-            // so the O(degree) view is built once per touched node instead of
-            // once per delivered message.
-            views.push(net.view(node));
             idx
         }
     };
-    let view = &views[idx];
+    let view: &NodeView = views.get_or_build(net, node);
     let program = &mut programs.entries[idx].1;
     match incoming {
         None => program.on_start(view, out),
@@ -293,6 +292,22 @@ impl Engine {
     pub fn run<P: Protocol>(
         net: &mut Network,
         initiators: &[NodeId],
+        make: impl FnMut(NodeId) -> P,
+    ) -> Result<(ProgramMap<P>, RunStats), CongestError> {
+        // Detach the view cache so activations can borrow views while the
+        // run loop charges costs to the network; restore it afterwards (on
+        // errors too — a failed run leaves the cache intact and coherent,
+        // since runs never mutate topology or markings).
+        let mut views = net.take_view_cache();
+        let result = Self::run_with_views(net, &mut views, initiators, make);
+        net.restore_view_cache(views);
+        result
+    }
+
+    fn run_with_views<P: Protocol>(
+        net: &mut Network,
+        views: &mut ViewCache,
+        initiators: &[NodeId],
         mut make: impl FnMut(NodeId) -> P,
     ) -> Result<(ProgramMap<P>, RunStats), CongestError> {
         let n = net.node_count();
@@ -302,7 +317,6 @@ impl Engine {
         // access to `net` mid-activation.
         let mut delay_rng = StdRng::seed_from_u64(net.rng_mut().gen());
         let mut programs: ProgramMap<P> = ProgramMap::new(n);
-        let mut views: Vec<NodeView> = Vec::new();
         // Pre-size the event heap: a broadcast-style wave keeps at most one
         // in-flight message per tree edge of the touched fragments, so a few
         // slots per initiator avoids the early doubling re-allocations
@@ -321,7 +335,7 @@ impl Engine {
                 net,
                 &config,
                 &mut programs,
-                &mut views,
+                views,
                 &mut queue,
                 &mut out,
                 &mut delay_rng,
@@ -347,7 +361,7 @@ impl Engine {
                 net,
                 &config,
                 &mut programs,
-                &mut views,
+                views,
                 &mut queue,
                 &mut out,
                 &mut delay_rng,

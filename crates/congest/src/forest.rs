@@ -5,8 +5,18 @@
 //! network if the network is properly marked and `T` is a maximal tree in the
 //! subgraph of marked edges." Between updates this marking is the *only*
 //! extra state a node holds (that is what makes the repairs impromptu).
-
-use std::collections::BTreeSet;
+//!
+//! # Data plane
+//!
+//! The marking is an [`EdgeId`]-indexed **bitset** plus a maintained
+//! **per-node tree-adjacency table** (each node's marked incident edges with
+//! their far endpoints). [`MarkedForest::is_marked`] — called for every
+//! incident edge of every view build — is one bit probe;
+//! [`MarkedForest::tree_edges_of`] and the tree walks (`tree_of`,
+//! `fragment_representatives`) run over tree degrees instead of scanning
+//! whole adjacency lists; mark/unmark are O(1)/O(tree-degree). The old
+//! `BTreeSet<EdgeId>` paid `O(log marked)` per probe and `O(marked)` per
+//! sweep. Iteration order (ascending [`EdgeId`]) is unchanged.
 
 use kkt_graphs::{EdgeId, Graph, NodeId};
 
@@ -15,9 +25,17 @@ use crate::error::CongestError;
 /// The set of marked (tree) edges, with helpers to navigate the induced
 /// forest. Both endpoints of a marked edge see the mark — the structure is
 /// symmetric by construction, so the network is always properly marked.
+///
+/// Marking needs the [`Graph`] (to learn the edge's endpoints for the
+/// per-node table); every read keeps the old shape.
 #[derive(Debug, Clone, Default)]
 pub struct MarkedForest {
-    marked: BTreeSet<EdgeId>,
+    /// Bit `e` set ⇔ edge `e` is marked. Indexed by raw [`EdgeId`].
+    bits: Vec<u64>,
+    /// Number of marked edges.
+    len: usize,
+    /// Per-node marked incident edges `(edge, far endpoint)`, in mark order.
+    tree_adj: Vec<Vec<(EdgeId, NodeId)>>,
 }
 
 impl MarkedForest {
@@ -26,62 +44,150 @@ impl MarkedForest {
         Self::default()
     }
 
+    fn set_bit(&mut self, e: EdgeId) -> bool {
+        let (word, bit) = (e.0 / 64, e.0 % 64);
+        if word >= self.bits.len() {
+            self.bits.resize(word + 1, 0);
+        }
+        let mask = 1u64 << bit;
+        let was = self.bits[word] & mask != 0;
+        self.bits[word] |= mask;
+        !was
+    }
+
+    fn clear_bit(&mut self, e: EdgeId) -> bool {
+        let (word, bit) = (e.0 / 64, e.0 % 64);
+        match self.bits.get_mut(word) {
+            Some(w) => {
+                let mask = 1u64 << bit;
+                let was = *w & mask != 0;
+                *w &= !mask;
+                was
+            }
+            None => false,
+        }
+    }
+
+    fn adj_mut(&mut self, x: NodeId) -> &mut Vec<(EdgeId, NodeId)> {
+        if x >= self.tree_adj.len() {
+            self.tree_adj.resize_with(x + 1, Vec::new);
+        }
+        &mut self.tree_adj[x]
+    }
+
+    fn adj(&self, x: NodeId) -> &[(EdgeId, NodeId)] {
+        self.tree_adj.get(x).map_or(&[], Vec::as_slice)
+    }
+
     /// Marks an edge. Returns `true` if it was not previously marked.
-    pub fn mark(&mut self, e: EdgeId) -> bool {
-        self.marked.insert(e)
+    pub fn mark(&mut self, g: &Graph, e: EdgeId) -> bool {
+        if !self.set_bit(e) {
+            return false;
+        }
+        self.len += 1;
+        let edge = g.edge(e);
+        self.adj_mut(edge.u).push((e, edge.v));
+        self.adj_mut(edge.v).push((e, edge.u));
+        true
     }
 
     /// Unmarks an edge. Returns `true` if it was previously marked.
-    pub fn unmark(&mut self, e: EdgeId) -> bool {
-        self.marked.remove(&e)
+    pub fn unmark(&mut self, g: &Graph, e: EdgeId) -> bool {
+        if !self.clear_bit(e) {
+            return false;
+        }
+        self.len -= 1;
+        // The edge record survives tombstoning, so endpoints stay resolvable
+        // even when the unmark follows a deletion.
+        let edge = g.edge(e);
+        for x in [edge.u, edge.v] {
+            let list = self.adj_mut(x);
+            let pos = list.iter().position(|&(m, _)| m == e).expect("marked edge is in the table");
+            list.remove(pos);
+        }
+        true
     }
 
-    /// Whether the edge is marked.
+    /// Drops every mark in place, keeping the bitset and per-node table
+    /// capacity (the rebuild replay policies clear once per event — an
+    /// allocation here would be steady-state allocator traffic on the very
+    /// path the flattened structures exist to keep quiet).
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
+        self.len = 0;
+        for list in &mut self.tree_adj {
+            list.clear();
+        }
+    }
+
+    /// Whether the edge is marked. One bit probe.
     pub fn is_marked(&self, e: EdgeId) -> bool {
-        self.marked.contains(&e)
+        self.bits.get(e.0 / 64).is_some_and(|w| w & (1 << (e.0 % 64)) != 0)
     }
 
-    /// Number of marked edges.
+    /// Number of marked edges. O(1).
     pub fn len(&self) -> usize {
-        self.marked.len()
+        self.len
     }
 
     /// True if no edges are marked.
     pub fn is_empty(&self) -> bool {
-        self.marked.is_empty()
+        self.len == 0
     }
 
-    /// Iterator over the marked edges.
+    /// Marked tree degree of `x`. O(1).
+    pub fn tree_degree(&self, x: NodeId) -> usize {
+        self.adj(x).len()
+    }
+
+    /// Iterator over the marked edges, in ascending [`EdgeId`] order (the
+    /// same order the old ordered-set representation exposed).
     pub fn iter(&self) -> impl Iterator<Item = EdgeId> + '_ {
-        self.marked.iter().copied()
+        self.bits.iter().enumerate().flat_map(|(word, &w)| {
+            let mut rest = w;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    return None;
+                }
+                let bit = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                Some(EdgeId(word * 64 + bit))
+            })
+        })
     }
 
     /// The marked edges as a sorted vector (a snapshot).
     pub fn edges(&self) -> Vec<EdgeId> {
-        self.marked.iter().copied().collect()
+        self.iter().collect()
     }
 
-    /// Removes marks on edges that are no longer live in `g` (used after an
-    /// edge deletion) and returns the edges that were dropped.
-    pub fn prune_dead(&mut self, g: &Graph) -> Vec<EdgeId> {
-        let dead: Vec<EdgeId> = self.marked.iter().copied().filter(|&e| !g.is_live(e)).collect();
-        for &e in &dead {
-            self.marked.remove(&e);
+    /// Drops marks on the given *deleted* edges if they are marked and no
+    /// longer live in `g`, returning the edges whose marks were dropped (in
+    /// input order). O(tree-degree) per deleted edge — the caller names what
+    /// was deleted instead of this method rescanning the entire marked set.
+    pub fn prune_dead(&mut self, g: &Graph, deleted: &[EdgeId]) -> Vec<EdgeId> {
+        let mut dropped = Vec::new();
+        for &e in deleted {
+            if self.is_marked(e) && !g.is_live(e) && self.unmark(g, e) {
+                dropped.push(e);
+            }
         }
-        dead
+        dropped
     }
 
-    /// Marked edges incident to `x`.
-    pub fn tree_edges_of(&self, g: &Graph, x: NodeId) -> Vec<EdgeId> {
-        g.incident(x).filter(|&e| self.is_marked(e)).collect()
+    /// Marked edges incident to `x`, in mark order. O(tree-degree).
+    pub fn tree_edges_of(&self, _g: &Graph, x: NodeId) -> Vec<EdgeId> {
+        self.adj(x).iter().map(|&(e, _)| e).collect()
     }
 
-    /// Tree neighbours of `x`.
-    pub fn tree_neighbors(&self, g: &Graph, x: NodeId) -> Vec<NodeId> {
-        self.tree_edges_of(g, x).into_iter().map(|e| g.edge(e).other(x)).collect()
+    /// Tree neighbours of `x`, in mark order. O(tree-degree).
+    pub fn tree_neighbors(&self, _g: &Graph, x: NodeId) -> Vec<NodeId> {
+        self.adj(x).iter().map(|&(_, y)| y).collect()
     }
 
-    /// The nodes of the marked tree containing `x` (BFS over marked edges).
+    /// The nodes of the marked tree containing `x` (BFS over the tree
+    /// adjacency table — O(tree size · tree degree), independent of graph
+    /// degree).
     pub fn tree_of(&self, g: &Graph, x: NodeId) -> Vec<NodeId> {
         let mut seen = vec![false; g.node_count()];
         let mut order = Vec::new();
@@ -90,13 +196,10 @@ impl MarkedForest {
         queue.push_back(x);
         while let Some(y) = queue.pop_front() {
             order.push(y);
-            for e in g.incident(y) {
-                if self.is_marked(e) {
-                    let z = g.edge(e).other(y);
-                    if !seen[z] {
-                        seen[z] = true;
-                        queue.push_back(z);
-                    }
+            for &(_, z) in self.adj(y) {
+                if !seen[z] {
+                    seen[z] = true;
+                    queue.push_back(z);
                 }
             }
         }
@@ -131,7 +234,7 @@ impl MarkedForest {
     /// Validates that the marked edges form a forest of live edges.
     pub fn validate(&self, g: &Graph) -> Result<(), CongestError> {
         let mut uf = kkt_graphs::UnionFind::new(g.node_count());
-        for &e in &self.marked {
+        for e in self.iter() {
             if !g.is_live(e) {
                 return Err(CongestError::ImproperMarking(format!("marked edge {e} is not live")));
             }
@@ -164,16 +267,39 @@ mod tests {
 
     #[test]
     fn mark_unmark_roundtrip() {
-        let (_, edges) = small();
+        let (g, edges) = small();
         let mut f = MarkedForest::new();
         assert!(f.is_empty());
-        assert!(f.mark(edges[0]));
-        assert!(!f.mark(edges[0]), "double-mark is a no-op");
+        assert!(f.mark(&g, edges[0]));
+        assert!(!f.mark(&g, edges[0]), "double-mark is a no-op");
         assert!(f.is_marked(edges[0]));
         assert_eq!(f.len(), 1);
-        assert!(f.unmark(edges[0]));
-        assert!(!f.unmark(edges[0]));
+        assert_eq!(f.tree_degree(0), 1);
+        assert!(f.unmark(&g, edges[0]));
+        assert!(!f.unmark(&g, edges[0]));
         assert!(f.is_empty());
+        assert_eq!(f.tree_degree(0), 0);
+    }
+
+    #[test]
+    fn clear_drops_all_marks_in_place() {
+        let (g, edges) = small();
+        let mut f = MarkedForest::new();
+        for e in &edges {
+            f.mark(&g, *e);
+        }
+        f.clear();
+        assert!(f.is_empty());
+        assert_eq!(f.len(), 0);
+        for e in &edges {
+            assert!(!f.is_marked(*e));
+        }
+        for x in 0..5 {
+            assert_eq!(f.tree_degree(x), 0);
+        }
+        // Re-marking after a clear behaves like a fresh forest.
+        assert!(f.mark(&g, edges[0]));
+        assert_eq!(f.edges(), vec![edges[0]]);
     }
 
     #[test]
@@ -181,7 +307,7 @@ mod tests {
         let (g, edges) = small();
         let mut f = MarkedForest::new();
         for e in &edges {
-            f.mark(*e);
+            f.mark(&g, *e);
         }
         let t0: Vec<_> = f.tree_of(&g, 0);
         assert_eq!(t0.len(), 3);
@@ -197,8 +323,8 @@ mod tests {
     fn tree_neighbors_and_edges() {
         let (g, edges) = small();
         let mut f = MarkedForest::new();
-        f.mark(edges[0]);
-        f.mark(edges[1]);
+        f.mark(&g, edges[0]);
+        f.mark(&g, edges[1]);
         assert_eq!(f.tree_neighbors(&g, 1), vec![0, 2]);
         assert_eq!(f.tree_edges_of(&g, 1).len(), 2);
         assert_eq!(f.tree_neighbors(&g, 4), Vec::<NodeId>::new());
@@ -209,7 +335,7 @@ mod tests {
         let (g, edges) = small();
         let mut f = MarkedForest::new();
         for e in &edges {
-            f.mark(*e);
+            f.mark(&g, *e);
         }
         let reps = f.fragment_representatives(&g);
         assert_eq!(reps, vec![0, 3]);
@@ -218,21 +344,54 @@ mod tests {
     }
 
     #[test]
+    fn iter_is_sorted_by_edge_id() {
+        let (g, edges) = small();
+        let mut f = MarkedForest::new();
+        // Mark out of order; iteration stays ascending.
+        f.mark(&g, edges[2]);
+        f.mark(&g, edges[0]);
+        f.mark(&g, edges[1]);
+        let listed = f.edges();
+        let mut sorted = listed.clone();
+        sorted.sort();
+        assert_eq!(listed, sorted);
+        assert_eq!(listed.len(), 3);
+    }
+
+    #[test]
     fn validate_rejects_cycles_and_dead_edges() {
         let (mut g, edges) = small();
         let mut f = MarkedForest::new();
         for e in &edges {
-            f.mark(*e);
+            f.mark(&g, *e);
         }
-        f.mark(g.edge_between(0, 2).unwrap());
+        f.mark(&g, g.edge_between(0, 2).unwrap());
         assert!(f.validate(&g).is_err(), "0-1-2-0 cycle must be rejected");
-        f.unmark(g.edge_between(0, 2).unwrap());
+        let e02 = g.edge_between(0, 2).unwrap();
+        f.unmark(&g, e02);
         assert!(f.validate(&g).is_ok());
-        g.remove_edge(3, 4);
+        let dead = g.remove_edge(3, 4).unwrap();
         assert!(f.validate(&g).is_err(), "marked dead edge must be rejected");
-        let dropped = f.prune_dead(&g);
-        assert_eq!(dropped.len(), 1);
+        let dropped = f.prune_dead(&g, &[dead]);
+        assert_eq!(dropped, vec![dead]);
         assert!(f.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn prune_dead_checks_only_the_named_edges() {
+        let (mut g, edges) = small();
+        let mut f = MarkedForest::new();
+        for e in &edges {
+            f.mark(&g, *e);
+        }
+        // A live marked edge named as deleted is left alone; an unmarked dead
+        // edge contributes nothing; only the marked-and-dead edge drops.
+        let dead_unmarked = g.remove_edge(0, 2).unwrap();
+        let dead_marked = g.remove_edge(3, 4).unwrap();
+        let dropped = f.prune_dead(&g, &[edges[0], dead_unmarked, dead_marked]);
+        assert_eq!(dropped, vec![dead_marked]);
+        assert!(f.is_marked(edges[0]), "live marked edge survives");
+        assert_eq!(f.len(), 2);
     }
 
     #[test]
@@ -242,7 +401,7 @@ mod tests {
         let mst = kkt_graphs::kruskal(&g);
         let mut f = MarkedForest::new();
         for &e in &mst.edges {
-            f.mark(e);
+            f.mark(&g, e);
         }
         f.validate(&g).unwrap();
         assert_eq!(f.fragment_representatives(&g).len(), 1);

@@ -11,6 +11,19 @@
 //! moral equivalent of port numbers); all algorithmic decisions in the
 //! protocol crates are made from IDs, weights and edge numbers, never from
 //! the handles' numeric values.
+//!
+//! # The view cache
+//!
+//! Views are immutable during an engine run (topology and markings are fixed
+//! for its duration), and a replay touches the same nodes run after run —
+//! `Build MST` alone launches thousands of broadcast-and-echoes over the
+//! same fragments. The network therefore keeps a **persistent per-node view
+//! cache** ([`ViewCache`]): the engine borrows cached views instead of
+//! rebuilding (and re-allocating) the incident-edge vector per touched node
+//! per run, and every dynamic update (`insert_edge` / `remove_edge` /
+//! `change_weight` / `mark` / `unmark`) invalidates exactly the two endpoint
+//! entries it dirtied. Cached and freshly built views are identical by
+//! construction, so caching is invisible to costs and fingerprints.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -87,6 +100,12 @@ pub struct IncidentEdge {
 }
 
 /// The complete local knowledge of one node.
+///
+/// Alongside the incident-edge list the view carries two derived indexes
+/// built once at view-construction time: the marked degree (O(1)
+/// [`NodeView::tree_degree`], consulted by every broadcast-and-echo
+/// activation) and a neighbour-sorted index (O(log deg)
+/// [`NodeView::edge_to`], consulted by the engine for every staged message).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NodeView {
     /// Simulation handle of this node.
@@ -100,22 +119,40 @@ pub struct NodeView {
     pub id_bits: u32,
     /// All live incident edges.
     pub incident: Vec<IncidentEdge>,
+    /// Indices into `incident`, sorted by neighbour handle.
+    by_neighbor: Vec<u32>,
+    /// Number of marked incident edges.
+    tree_deg: u32,
 }
 
 impl NodeView {
+    /// Builds a view from its incident edges, deriving the indexes.
+    fn assemble(
+        node: NodeId,
+        id: u64,
+        n: usize,
+        id_bits: u32,
+        incident: Vec<IncidentEdge>,
+    ) -> NodeView {
+        let mut by_neighbor: Vec<u32> = (0..incident.len() as u32).collect();
+        by_neighbor.sort_unstable_by_key(|&i| incident[i as usize].neighbor);
+        let tree_deg = incident.iter().filter(|e| e.marked).count() as u32;
+        NodeView { node, id, n, id_bits, incident, by_neighbor, tree_deg }
+    }
+
     /// Incident edges that are currently marked (tree edges).
     pub fn tree_edges(&self) -> impl Iterator<Item = &IncidentEdge> {
         self.incident.iter().filter(|e| e.marked)
     }
 
-    /// Neighbour handles across marked edges.
-    pub fn tree_neighbors(&self) -> Vec<NodeId> {
-        self.tree_edges().map(|e| e.neighbor).collect()
+    /// Neighbour handles across marked edges (allocation-free).
+    pub fn tree_neighbors(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.tree_edges().map(|e| e.neighbor)
     }
 
-    /// Degree in the marked forest.
+    /// Degree in the marked forest. O(1).
     pub fn tree_degree(&self) -> usize {
-        self.tree_edges().count()
+        self.tree_deg as usize
     }
 
     /// Degree in the whole graph.
@@ -123,9 +160,18 @@ impl NodeView {
         self.incident.len()
     }
 
-    /// The incident edge leading to `neighbor`, if any.
+    /// Index into [`NodeView::incident`] of the edge leading to `neighbor`,
+    /// if any. O(log deg) via the neighbour-sorted index.
+    pub fn incident_index_to(&self, neighbor: NodeId) -> Option<usize> {
+        self.by_neighbor
+            .binary_search_by_key(&neighbor, |&i| self.incident[i as usize].neighbor)
+            .ok()
+            .map(|pos| self.by_neighbor[pos] as usize)
+    }
+
+    /// The incident edge leading to `neighbor`, if any. O(log deg).
     pub fn edge_to(&self, neighbor: NodeId) -> Option<&IncidentEdge> {
-        self.incident.iter().find(|e| e.neighbor == neighbor)
+        self.incident_index_to(neighbor).map(|i| &self.incident[i])
     }
 
     /// 64-bit hash keys of all incident edge numbers (the `E(v)` of §2.1).
@@ -139,6 +185,46 @@ impl NodeView {
     }
 }
 
+/// Persistent per-node cache of KT1 views (see the module docs). Taken out
+/// of the network for the duration of an engine run and restored afterwards,
+/// so the engine can borrow views while charging costs to the network.
+#[derive(Debug, Default)]
+pub struct ViewCache {
+    entries: Vec<Option<NodeView>>,
+}
+
+impl ViewCache {
+    fn with_nodes(n: usize) -> Self {
+        let mut entries = Vec::new();
+        entries.resize_with(n, || None);
+        ViewCache { entries }
+    }
+
+    fn invalidate(&mut self, x: NodeId) {
+        if let Some(slot) = self.entries.get_mut(x) {
+            *slot = None;
+        }
+    }
+
+    fn invalidate_all(&mut self) {
+        for slot in &mut self.entries {
+            *slot = None;
+        }
+    }
+
+    /// The cached view of `x`, built on first touch.
+    pub(crate) fn get_or_build(&mut self, net: &Network, x: NodeId) -> &NodeView {
+        if self.entries.len() < net.node_count() {
+            self.entries.resize_with(net.node_count(), || None);
+        }
+        let slot = &mut self.entries[x];
+        if slot.is_none() {
+            *slot = Some(net.view(x));
+        }
+        slot.as_ref().expect("just filled")
+    }
+}
+
 /// The simulated CONGEST network.
 #[derive(Debug)]
 pub struct Network {
@@ -148,6 +234,7 @@ pub struct Network {
     config: NetworkConfig,
     rng: StdRng,
     id_bits: u32,
+    views: ViewCache,
 }
 
 impl Network {
@@ -156,6 +243,7 @@ impl Network {
         let rng = StdRng::seed_from_u64(config.seed);
         let max_id = graph.nodes().map(|x| graph.id_of(x)).max().unwrap_or(1);
         let id_bits = (bits_for_value(max_id) as u32).min(32);
+        let views = ViewCache::with_nodes(graph.node_count());
         Network {
             graph,
             forest: MarkedForest::new(),
@@ -163,6 +251,7 @@ impl Network {
             config,
             rng,
             id_bits,
+            views,
         }
     }
 
@@ -183,14 +272,6 @@ impl Network {
         &self.forest
     }
 
-    /// Mutable access to the maintained forest (marking/unmarking edges is a
-    /// *local* state change at the two endpoints and is therefore free in the
-    /// CONGEST cost model; any communication needed to agree on it is charged
-    /// by the protocol that decides it).
-    pub fn forest_mut(&mut self) -> &mut MarkedForest {
-        &mut self.forest
-    }
-
     /// The accumulated communication costs.
     pub fn cost(&self) -> CostReport {
         self.cost.report()
@@ -209,6 +290,18 @@ impl Network {
 
     /// Replaces the configuration (e.g. to switch scheduler between phases).
     pub fn set_config(&mut self, config: NetworkConfig) {
+        self.config = config;
+    }
+
+    /// Resets the network to a pristine pre-construction state over its
+    /// *current* graph: no marks, zeroed cost counters, and the RNG reseeded
+    /// from the new configuration — observationally identical to
+    /// `Network::new(graph, config)` without cloning the graph. The scratch
+    /// arena the rebuild replay policies reuse between events.
+    pub fn reset(&mut self, config: NetworkConfig) {
+        self.clear_marks();
+        self.cost = CostTracker::new();
+        self.rng = StdRng::seed_from_u64(config.seed);
         self.config = config;
     }
 
@@ -235,77 +328,96 @@ impl Network {
 
     /// Marks a single edge.
     pub fn mark(&mut self, e: EdgeId) {
-        self.forest.mark(e);
+        if self.forest.mark(&self.graph, e) {
+            let edge = self.graph.edge(e);
+            self.views.invalidate(edge.u);
+            self.views.invalidate(edge.v);
+        }
     }
 
     /// Unmarks a single edge.
     pub fn unmark(&mut self, e: EdgeId) {
-        self.forest.unmark(e);
+        if self.forest.unmark(&self.graph, e) {
+            let edge = self.graph.edge(e);
+            self.views.invalidate(edge.u);
+            self.views.invalidate(edge.v);
+        }
     }
 
     /// Marks every edge in the slice (e.g. a precomputed MST for repair
     /// experiments).
     pub fn mark_all(&mut self, edges: &[EdgeId]) {
         for &e in edges {
-            self.forest.mark(e);
+            self.mark(e);
         }
     }
 
-    /// Clears every mark.
+    /// Clears every mark (in place — capacity is kept for the next build).
     pub fn clear_marks(&mut self) {
-        self.forest = MarkedForest::new();
+        self.forest.clear();
+        self.views.invalidate_all();
     }
 
     /// Dynamic update: inserts a new edge. Returns its handle.
     pub fn insert_edge(&mut self, u: NodeId, v: NodeId, weight: Weight) -> Option<EdgeId> {
-        self.graph.add_edge(u, v, weight)
+        let id = self.graph.add_edge(u, v, weight)?;
+        self.views.invalidate(u);
+        self.views.invalidate(v);
+        Some(id)
     }
 
     /// Dynamic update: deletes an edge, unmarking it if it was a tree edge.
     /// Returns the handle and whether it was marked.
     pub fn delete_edge(&mut self, u: NodeId, v: NodeId) -> Option<(EdgeId, bool)> {
         let id = self.graph.remove_edge(u, v)?;
-        let was_marked = self.forest.unmark(id);
+        let was_marked = self.forest.unmark(&self.graph, id);
+        self.views.invalidate(u);
+        self.views.invalidate(v);
         Some((id, was_marked))
     }
 
     /// Dynamic update: changes the weight of a live edge, returning the old
     /// weight.
     pub fn change_weight(&mut self, u: NodeId, v: NodeId, weight: Weight) -> Option<Weight> {
-        self.graph.set_weight(u, v, weight)
+        let old = self.graph.set_weight(u, v, weight)?;
+        self.views.invalidate(u);
+        self.views.invalidate(v);
+        Some(old)
     }
 
-    /// Builds the KT1 view of node `x`.
+    /// Builds the KT1 view of node `x` from scratch (engines go through the
+    /// cache instead, see [`ViewCache`]).
     pub fn view(&self, x: NodeId) -> NodeView {
         let incident = self
             .graph
-            .incident(x)
-            .map(|e| {
+            .incident_with_neighbors(x)
+            .map(|(e, neighbor)| {
                 let edge = self.graph.edge(e);
-                let neighbor = edge.other(x);
+                let edge_number =
+                    EdgeNumber::from_ids(self.graph.id_of(edge.u), self.graph.id_of(edge.v));
                 IncidentEdge {
                     edge: e,
                     neighbor,
                     neighbor_id: self.graph.id_of(neighbor),
                     weight: edge.weight,
-                    unique_weight: self.graph.unique_weight(e),
-                    edge_number: self.graph.edge_number(e),
+                    unique_weight: UniqueWeight::new(edge.weight, edge_number),
+                    edge_number,
                     marked: self.forest.is_marked(e),
                 }
             })
             .collect();
-        NodeView {
-            node: x,
-            id: self.graph.id_of(x),
-            n: self.graph.node_count(),
-            id_bits: self.id_bits,
-            incident,
-        }
+        NodeView::assemble(x, self.graph.id_of(x), self.graph.node_count(), self.id_bits, incident)
     }
 
-    /// Builds views for every node (engines call this once per run).
-    pub fn views(&self) -> Vec<NodeView> {
-        (0..self.node_count()).map(|x| self.view(x)).collect()
+    /// Detaches the view cache for the duration of an engine run (the engine
+    /// needs `&mut` access to the cost tracker while borrowing views).
+    pub(crate) fn take_view_cache(&mut self) -> ViewCache {
+        std::mem::take(&mut self.views)
+    }
+
+    /// Re-attaches the view cache after an engine run.
+    pub(crate) fn restore_view_cache(&mut self, views: ViewCache) {
+        self.views = views;
     }
 
     /// The set of marked edges as a spanning-forest snapshot, for comparison
@@ -357,6 +469,66 @@ mod tests {
     }
 
     #[test]
+    fn cached_views_match_fresh_views_after_every_update_kind() {
+        // The cache-coherence contract: after any dynamic update, the cached
+        // view of every node equals a from-scratch rebuild.
+        let mut net = network();
+        let mst = kkt_graphs::kruskal(net.graph());
+        net.mark_all(&mst.edges);
+        let check = |net: &mut Network| {
+            let mut cache = net.take_view_cache();
+            for x in 0..net.node_count() {
+                let cached = cache.get_or_build(net, x).clone();
+                assert_eq!(cached, net.view(x), "node {x}");
+            }
+            net.restore_view_cache(cache);
+        };
+        check(&mut net);
+        let edge = *net.graph().edge(mst.edges[0]);
+        net.delete_edge(edge.u, edge.v).unwrap();
+        check(&mut net);
+        net.insert_edge(edge.u, edge.v, edge.weight + 3).unwrap();
+        check(&mut net);
+        net.change_weight(edge.u, edge.v, 1).unwrap();
+        check(&mut net);
+        let e = net.graph().edge_between(edge.u, edge.v).unwrap();
+        net.mark(e);
+        check(&mut net);
+        net.unmark(e);
+        check(&mut net);
+        net.clear_marks();
+        check(&mut net);
+    }
+
+    #[test]
+    fn reset_matches_a_fresh_network() {
+        // `reset` must be observationally identical to constructing a new
+        // network over a clone of the same graph.
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = generators::connected_gnp(16, 0.3, 40, &mut rng);
+        let config = NetworkConfig::asynchronous(77, 5);
+        let mut recycled = Network::new(g.clone(), NetworkConfig::default());
+        let mst = kkt_graphs::kruskal(recycled.graph());
+        net_run_some_cost(&mut recycled, &mst.edges);
+        recycled.reset(config);
+        let mut fresh = Network::new(g, config);
+        assert_eq!(recycled.cost(), fresh.cost());
+        assert_eq!(recycled.config(), fresh.config());
+        assert_eq!(recycled.forest().len(), 0);
+        // Identical RNG stream after reset.
+        use rand::Rng;
+        let a: [u64; 4] = std::array::from_fn(|_| recycled.rng_mut().gen());
+        let b: [u64; 4] = std::array::from_fn(|_| fresh.rng_mut().gen());
+        assert_eq!(a, b);
+    }
+
+    fn net_run_some_cost(net: &mut Network, edges: &[EdgeId]) {
+        net.mark_all(edges);
+        net.cost_mut().record_message(123);
+        net.cost_mut().record_time(9);
+    }
+
+    #[test]
     fn dynamic_updates_keep_forest_consistent() {
         let mut net = network();
         let mst = kkt_graphs::kruskal(net.graph());
@@ -403,12 +575,17 @@ mod tests {
         let mst = kkt_graphs::kruskal(net.graph());
         net.mark_all(&mst.edges);
         let v = net.view(1);
-        let tn = v.tree_neighbors();
+        let tn: Vec<NodeId> = v.tree_neighbors().collect();
         assert_eq!(tn.len(), v.tree_degree());
-        if let Some(first) = v.incident.first() {
-            assert_eq!(v.edge_to(first.neighbor).unwrap().edge, first.edge);
+        for inc in &v.incident {
+            assert_eq!(v.edge_to(inc.neighbor).unwrap().edge, inc.edge, "indexed lookup");
+            assert_eq!(
+                v.incident_index_to(inc.neighbor).map(|i| v.incident[i].edge),
+                Some(inc.edge)
+            );
         }
         assert_eq!(v.incident_keys().count(), v.degree());
         assert!(v.edge_to(usize::MAX).is_none());
+        assert!(v.edge_to(v.node).is_none(), "no self-loop entry");
     }
 }

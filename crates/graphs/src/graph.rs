@@ -4,6 +4,29 @@
 //! `0..n`; each carries a distributed *identifier* drawn from a (possibly much
 //! larger) ID space, matching the KT1 model where IDs live in `{1, .., n^c}` (or
 //! larger, compressed down via Karp–Rabin fingerprinting, see `kkt-hashing`).
+//!
+//! # Data plane
+//!
+//! The structure is tuned for the replay hot path, where every simulated
+//! message delivery reads adjacency and every churn event mutates it:
+//!
+//! * Adjacency is a **CSR-style slab arena** ([`AdjArena`]): one contiguous
+//!   entry buffer, per-node slabs in power-of-two capacities, and a free list
+//!   that recycles outgrown slabs, so sustained churn reuses memory instead
+//!   of reallocating per node. Entries carry `(neighbor, edge)` pairs, so an
+//!   adjacency walk never touches the edge table just to find the far
+//!   endpoint. Within a slab, entries keep **insertion order** — the same
+//!   order the old `Vec<Vec<EdgeId>>` exposed — because view iteration order
+//!   feeds the async scheduler's delay RNG and must stay bit-stable.
+//! * Presence is a **hashed pair table** ([`PairTable`]): open addressing
+//!   over `(min, max) → EdgeId` with a fixed multiplicative hash, making
+//!   `edge_between`/duplicate checks O(1) amortized and fully deterministic
+//!   (no per-process hasher seeds).
+//! * `node_with_id` resolves through a sorted ID index (IDs are fixed at
+//!   construction) instead of a linear scan.
+//! * The live-edge count is maintained incrementally, so [`Graph::edge_count`]
+//!   is O(1), and [`Graph::cut_iter`]/[`Graph::live_edges`] stream without
+//!   allocating.
 
 use std::collections::BTreeSet;
 use std::fmt;
@@ -54,19 +77,239 @@ impl Edge {
     }
 }
 
+// ---------------------------------------------------------------------------
+// CSR slab arena
+// ---------------------------------------------------------------------------
+
+/// One adjacency entry: the far endpoint and the edge handle, packed to 8
+/// bytes so a slab walk stays within a cache line for typical degrees.
+#[derive(Debug, Clone, Copy, Default)]
+struct AdjEntry {
+    neighbor: u32,
+    edge: u32,
+}
+
+/// A node's slab: `cap` is always zero or a power of two ≥ `MIN_SLAB`.
+#[derive(Debug, Clone, Copy, Default)]
+struct Slab {
+    offset: u32,
+    len: u32,
+    cap: u32,
+}
+
+const MIN_SLAB: u32 = 4;
+
+/// The CSR-style adjacency arena: per-node slabs carved out of one entry
+/// buffer, with outgrown slabs recycled through per-size free lists.
+#[derive(Debug, Clone, Default)]
+struct AdjArena {
+    entries: Vec<AdjEntry>,
+    slabs: Vec<Slab>,
+    /// `free[k]` holds offsets of free slabs of capacity `1 << k`.
+    free: Vec<Vec<u32>>,
+}
+
+impl AdjArena {
+    fn new(n: usize) -> Self {
+        AdjArena { entries: Vec::new(), slabs: vec![Slab::default(); n], free: Vec::new() }
+    }
+
+    fn entries_of(&self, x: NodeId) -> &[AdjEntry] {
+        let s = self.slabs[x];
+        &self.entries[s.offset as usize..(s.offset + s.len) as usize]
+    }
+
+    fn len_of(&self, x: NodeId) -> usize {
+        self.slabs[x].len as usize
+    }
+
+    /// Acquires a slab of exactly `cap` (a power of two): recycled from the
+    /// free list when possible, freshly carved from the buffer end otherwise.
+    fn acquire(&mut self, cap: u32) -> u32 {
+        let k = cap.trailing_zeros() as usize;
+        if let Some(offset) = self.free.get_mut(k).and_then(Vec::pop) {
+            return offset;
+        }
+        let offset = self.entries.len() as u32;
+        self.entries.resize(self.entries.len() + cap as usize, AdjEntry::default());
+        offset
+    }
+
+    fn release(&mut self, offset: u32, cap: u32) {
+        if cap == 0 {
+            return;
+        }
+        let k = cap.trailing_zeros() as usize;
+        if self.free.len() <= k {
+            self.free.resize_with(k + 1, Vec::new);
+        }
+        self.free[k].push(offset);
+    }
+
+    /// Appends an entry to `x`'s slab, growing (and relocating) it when full.
+    fn push(&mut self, x: NodeId, entry: AdjEntry) {
+        let slab = self.slabs[x];
+        if slab.len == slab.cap {
+            let new_cap = (slab.cap * 2).max(MIN_SLAB);
+            let new_offset = self.acquire(new_cap);
+            // `acquire` may have reallocated `entries`; copy within the
+            // buffer via split indices to keep the borrow checker happy.
+            for i in 0..slab.len {
+                self.entries[(new_offset + i) as usize] = self.entries[(slab.offset + i) as usize];
+            }
+            self.release(slab.offset, slab.cap);
+            self.slabs[x] = Slab { offset: new_offset, len: slab.len, cap: new_cap };
+        }
+        let s = self.slabs[x];
+        self.entries[(s.offset + s.len) as usize] = entry;
+        self.slabs[x].len += 1;
+    }
+
+    /// Removes the entry for `edge` from `x`'s slab, preserving the order of
+    /// the remaining entries (the order contract of the adjacency lists).
+    fn remove(&mut self, x: NodeId, edge: u32) {
+        let s = self.slabs[x];
+        let (offset, len) = (s.offset as usize, s.len as usize);
+        let pos = self.entries[offset..offset + len]
+            .iter()
+            .position(|e| e.edge == edge)
+            .expect("edge is present in its endpoint's adjacency");
+        self.entries.copy_within(offset + pos + 1..offset + len, offset + pos);
+        self.slabs[x].len -= 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hashed pair table
+// ---------------------------------------------------------------------------
+
+/// Open-addressing map from a packed node pair `(min << 32) | max` to an
+/// edge id. The hash is a fixed multiplicative mix (no per-process seeding),
+/// so behaviour is deterministic across runs and builds. `EMPTY`/`TOMB` are
+/// impossible keys: a real key always has `min < max`, so the high half is
+/// strictly smaller than the low half.
+#[derive(Debug, Clone)]
+struct PairTable {
+    keys: Vec<u64>,
+    vals: Vec<u32>,
+    len: usize,
+    tombstones: usize,
+}
+
+const EMPTY_KEY: u64 = 0;
+const TOMB_KEY: u64 = u64::MAX;
+
+fn mix(key: u64) -> u64 {
+    // splitmix64 finalizer: full-avalanche, deterministic.
+    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn pack_pair(u: NodeId, v: NodeId) -> u64 {
+    let (lo, hi) = (u.min(v) as u64, u.max(v) as u64);
+    (lo << 32) | (hi + 1)
+}
+
+impl PairTable {
+    fn new() -> Self {
+        PairTable { keys: vec![EMPTY_KEY; 16], vals: vec![0; 16], len: 0, tombstones: 0 }
+    }
+
+    fn mask(&self) -> usize {
+        self.keys.len() - 1
+    }
+
+    fn get(&self, key: u64) -> Option<u32> {
+        let mask = self.mask();
+        let mut i = mix(key) as usize & mask;
+        loop {
+            match self.keys[i] {
+                EMPTY_KEY => return None,
+                k if k == key => return Some(self.vals[i]),
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    fn insert(&mut self, key: u64, val: u32) {
+        if (self.len + self.tombstones + 1) * 4 > self.keys.len() * 3 {
+            self.grow();
+        }
+        let mask = self.mask();
+        let mut i = mix(key) as usize & mask;
+        loop {
+            match self.keys[i] {
+                EMPTY_KEY | TOMB_KEY => {
+                    if self.keys[i] == TOMB_KEY {
+                        self.tombstones -= 1;
+                    }
+                    self.keys[i] = key;
+                    self.vals[i] = val;
+                    self.len += 1;
+                    return;
+                }
+                k => {
+                    debug_assert_ne!(k, key, "pair inserted twice");
+                    i = (i + 1) & mask;
+                }
+            }
+        }
+    }
+
+    fn remove(&mut self, key: u64) -> Option<u32> {
+        let mask = self.mask();
+        let mut i = mix(key) as usize & mask;
+        loop {
+            match self.keys[i] {
+                EMPTY_KEY => return None,
+                k if k == key => {
+                    self.keys[i] = TOMB_KEY;
+                    self.len -= 1;
+                    self.tombstones += 1;
+                    return Some(self.vals[i]);
+                }
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.keys.len() * 2).max(16);
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY_KEY; new_cap]);
+        let old_vals = std::mem::take(&mut self.vals);
+        self.vals = vec![0; new_cap];
+        self.tombstones = 0;
+        self.len = 0;
+        for (key, val) in old_keys.into_iter().zip(old_vals) {
+            if key != EMPTY_KEY && key != TOMB_KEY {
+                self.insert(key, val);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The graph
+// ---------------------------------------------------------------------------
+
 /// An undirected weighted graph with stable edge identifiers.
 ///
 /// The graph is simple (no parallel edges, no self-loops); attempts to insert a
 /// duplicate or loop edge are rejected. Edges are never physically removed —
 /// [`Graph::remove_edge`] tombstones them — so [`EdgeId`]s remain stable across
 /// dynamic updates, which is what the repair algorithms key on.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Graph {
     ids: Vec<u64>,
     edges: Vec<Edge>,
     alive: Vec<bool>,
-    adjacency: Vec<Vec<EdgeId>>,
-    present: BTreeSet<(NodeId, NodeId)>,
+    live_count: usize,
+    adjacency: AdjArena,
+    present: PairTable,
+    /// `(id, node)` sorted by id, for O(log n) [`Graph::node_with_id`].
+    id_index: Vec<(u64, u32)>,
 }
 
 impl Graph {
@@ -89,13 +332,19 @@ impl Graph {
             assert!(id != 0, "node identifiers must be non-zero");
             assert!(seen.insert(id), "duplicate node identifier {id}");
         }
+        assert!(ids.len() < u32::MAX as usize, "node count must fit the u32 data plane");
         let n = ids.len();
+        let mut id_index: Vec<(u64, u32)> =
+            ids.iter().enumerate().map(|(x, &id)| (id, x as u32)).collect();
+        id_index.sort_unstable();
         Graph {
             ids,
             edges: Vec::new(),
             alive: Vec::new(),
-            adjacency: vec![Vec::new(); n],
-            present: BTreeSet::new(),
+            live_count: 0,
+            adjacency: AdjArena::new(n),
+            present: PairTable::new(),
+            id_index,
         }
     }
 
@@ -104,9 +353,9 @@ impl Graph {
         self.ids.len()
     }
 
-    /// Number of *live* edges (tombstoned edges excluded).
+    /// Number of *live* edges (tombstoned edges excluded). O(1).
     pub fn edge_count(&self) -> usize {
-        self.alive.iter().filter(|&&a| a).count()
+        self.live_count
     }
 
     /// Distributed identifier of node `x`.
@@ -116,7 +365,10 @@ impl Graph {
 
     /// Dense index of the node with distributed identifier `id`, if any.
     pub fn node_with_id(&self, id: u64) -> Option<NodeId> {
-        self.ids.iter().position(|&x| x == id)
+        self.id_index
+            .binary_search_by_key(&id, |&(i, _)| i)
+            .ok()
+            .map(|pos| self.id_index[pos].1 as usize)
     }
 
     /// Iterator over node indices.
@@ -130,16 +382,18 @@ impl Graph {
         if u == v || u >= self.node_count() || v >= self.node_count() {
             return None;
         }
-        let key = (u.min(v), u.max(v));
-        if self.present.contains(&key) {
+        let key = pack_pair(u, v);
+        if self.present.get(key).is_some() {
             return None;
         }
+        debug_assert!(self.edges.len() < u32::MAX as usize);
         let id = EdgeId(self.edges.len());
-        self.edges.push(Edge { u: key.0, v: key.1, weight });
+        self.edges.push(Edge { u: u.min(v), v: u.max(v), weight });
         self.alive.push(true);
-        self.adjacency[u].push(id);
-        self.adjacency[v].push(id);
-        self.present.insert(key);
+        self.live_count += 1;
+        self.adjacency.push(u, AdjEntry { neighbor: v as u32, edge: id.0 as u32 });
+        self.adjacency.push(v, AdjEntry { neighbor: u as u32, edge: id.0 as u32 });
+        self.present.insert(key, id.0 as u32);
         Some(id)
     }
 
@@ -149,18 +403,15 @@ impl Graph {
     /// algorithms can still refer to the deleted edge) but the edge no longer
     /// appears in adjacency lists, [`Graph::live_edges`], or cut computations.
     pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> Option<EdgeId> {
-        let key = (u.min(v), u.max(v));
-        if !self.present.remove(&key) {
+        if u == v || u >= self.node_count() || v >= self.node_count() {
             return None;
         }
-        let id = self.adjacency[u]
-            .iter()
-            .copied()
-            .find(|&e| self.alive[e.0] && self.edges[e.0].is_endpoint(v))?;
-        self.alive[id.0] = false;
-        self.adjacency[u].retain(|&e| e != id);
-        self.adjacency[v].retain(|&e| e != id);
-        Some(id)
+        let raw = self.present.remove(pack_pair(u, v))?;
+        self.alive[raw as usize] = false;
+        self.live_count -= 1;
+        self.adjacency.remove(u, raw);
+        self.adjacency.remove(v, raw);
+        Some(EdgeId(raw as usize))
     }
 
     /// Changes the raw weight of live edge `{u, v}`, returning the old weight.
@@ -181,25 +432,33 @@ impl Graph {
         self.alive[id.0]
     }
 
-    /// Identifier of the live edge between `u` and `v`, if present.
+    /// Identifier of the live edge between `u` and `v`, if present. O(1).
     pub fn edge_between(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
-        if u == v {
+        if u == v || u >= self.node_count() || v >= self.node_count() {
             return None;
         }
-        self.adjacency[u]
-            .iter()
-            .copied()
-            .find(|&e| self.alive[e.0] && self.edges[e.0].is_endpoint(v))
+        self.present.get(pack_pair(u, v)).map(|raw| EdgeId(raw as usize))
     }
 
-    /// Live edges incident to `x`.
+    /// Live edges incident to `x`, in insertion order. Allocation-free; every
+    /// entry is live by construction (removal compacts the slab).
     pub fn incident(&self, x: NodeId) -> impl Iterator<Item = EdgeId> + '_ {
-        self.adjacency[x].iter().copied().filter(move |&e| self.alive[e.0])
+        self.adjacency.entries_of(x).iter().map(|e| EdgeId(e.edge as usize))
     }
 
-    /// Degree of `x` counting live edges only.
+    /// Live `(edge, neighbor)` pairs incident to `x`, in insertion order —
+    /// the far endpoint comes straight from the CSR entry, with no detour
+    /// through the edge table (the per-view build path of `kkt-congest`).
+    pub fn incident_with_neighbors(
+        &self,
+        x: NodeId,
+    ) -> impl Iterator<Item = (EdgeId, NodeId)> + '_ {
+        self.adjacency.entries_of(x).iter().map(|e| (EdgeId(e.edge as usize), e.neighbor as usize))
+    }
+
+    /// Degree of `x` counting live edges only. O(1).
     pub fn degree(&self, x: NodeId) -> usize {
-        self.incident(x).count()
+        self.adjacency.len_of(x)
     }
 
     /// All live edges.
@@ -242,8 +501,7 @@ impl Graph {
         seen[0] = true;
         let mut count = 1;
         while let Some(x) = stack.pop() {
-            for e in self.incident(x) {
-                let y = self.edge(e).other(x);
+            for (_, y) in self.incident_with_neighbors(x) {
                 if !seen[y] {
                     seen[y] = true;
                     count += 1;
@@ -267,8 +525,7 @@ impl Graph {
             let mut stack = vec![s];
             seen[s] = true;
             while let Some(x) = stack.pop() {
-                for e in self.incident(x) {
-                    let y = self.edge(e).other(x);
+                for (_, y) in self.incident_with_neighbors(x) {
                     if !seen[y] {
                         seen[y] = true;
                         stack.push(y);
@@ -279,15 +536,65 @@ impl Graph {
         comps
     }
 
+    /// Streaming form of [`Graph::cut`]: the live edges with exactly one
+    /// endpoint in `side`, in ascending [`EdgeId`] order, without allocating.
+    pub fn cut_iter<'a>(&'a self, side: &'a [bool]) -> impl Iterator<Item = EdgeId> + 'a {
+        self.live_edges().filter(move |&e| {
+            let edge = self.edge(e);
+            side[edge.u] != side[edge.v]
+        })
+    }
+
     /// The set of live edges with exactly one endpoint in `side`
     /// (`Cut(T, V \ T)` in the paper's notation).
     pub fn cut(&self, side: &[bool]) -> Vec<EdgeId> {
-        self.live_edges()
-            .filter(|&e| {
-                let edge = self.edge(e);
-                side[edge.u] != side[edge.v]
-            })
-            .collect()
+        self.cut_iter(side).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialization: the wire format carries only the logical state (ids, edge
+// table, liveness); the CSR arena, pair table and ID index are derived
+// structures rebuilt on deserialization.
+// ---------------------------------------------------------------------------
+
+impl Serialize for Graph {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("ids".to_string(), self.ids.to_value()),
+            ("edges".to_string(), self.edges.to_value()),
+            ("alive".to_string(), self.alive.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Graph {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let field = |name: &str| {
+            value.get(name).ok_or_else(|| serde::DeError::new(format!("Graph missing `{name}`")))
+        };
+        let ids = Vec::<u64>::from_value(field("ids")?)?;
+        let edges = Vec::<Edge>::from_value(field("edges")?)?;
+        let alive = Vec::<bool>::from_value(field("alive")?)?;
+        if edges.len() != alive.len() {
+            return Err(serde::DeError::new("Graph edge/alive length mismatch"));
+        }
+        let mut g = Graph::with_ids(ids);
+        for (edge, &is_alive) in edges.iter().zip(&alive) {
+            let id = EdgeId(g.edges.len());
+            g.edges.push(*edge);
+            g.alive.push(is_alive);
+            if is_alive {
+                if edge.u == edge.v || edge.u.max(edge.v) >= g.node_count() {
+                    return Err(serde::DeError::new("Graph edge has invalid endpoints"));
+                }
+                g.live_count += 1;
+                g.adjacency.push(edge.u, AdjEntry { neighbor: edge.v as u32, edge: id.0 as u32 });
+                g.adjacency.push(edge.v, AdjEntry { neighbor: edge.u as u32, edge: id.0 as u32 });
+                g.present.insert(pack_pair(edge.u, edge.v), id.0 as u32);
+            }
+        }
+        Ok(g)
     }
 }
 
@@ -405,6 +712,9 @@ mod tests {
         for e in cut {
             assert!(g.edge(e).is_endpoint(0));
         }
+        // The streaming form agrees with the collected one.
+        let streamed: Vec<EdgeId> = g.cut_iter(&[true, false, false]).collect();
+        assert_eq!(streamed, g.cut(&[true, false, false]));
     }
 
     #[test]
@@ -423,12 +733,79 @@ mod tests {
     }
 
     #[test]
+    fn node_with_id_resolves_every_node() {
+        let g = Graph::with_ids(vec![100, 7, 55, 9000]);
+        for x in g.nodes() {
+            assert_eq!(g.node_with_id(g.id_of(x)), Some(x));
+        }
+        assert_eq!(g.node_with_id(1), None);
+        assert_eq!(g.node_with_id(u64::MAX), None);
+    }
+
+    #[test]
     fn unique_weights_are_distinct_even_for_equal_raw_weights() {
         let mut g = Graph::new(4);
         let a = g.add_edge(0, 1, 5).unwrap();
         let b = g.add_edge(2, 3, 5).unwrap();
         assert_ne!(g.unique_weight(a), g.unique_weight(b));
         assert_eq!(g.unique_weight(a).raw(), g.unique_weight(b).raw());
+    }
+
+    #[test]
+    fn incident_preserves_insertion_order_across_churn() {
+        // The adjacency order contract: entries appear in insertion order,
+        // removals compact without reordering, and a re-insert appends at the
+        // end — exactly the observable order of the old Vec<Vec<EdgeId>>.
+        let mut g = Graph::new(6);
+        let e1 = g.add_edge(0, 1, 1).unwrap();
+        let e2 = g.add_edge(0, 2, 1).unwrap();
+        let e3 = g.add_edge(0, 3, 1).unwrap();
+        let e4 = g.add_edge(0, 4, 1).unwrap();
+        assert_eq!(g.incident(0).collect::<Vec<_>>(), vec![e1, e2, e3, e4]);
+        g.remove_edge(0, 2);
+        assert_eq!(g.incident(0).collect::<Vec<_>>(), vec![e1, e3, e4]);
+        let e5 = g.add_edge(2, 0, 1).unwrap();
+        assert_eq!(g.incident(0).collect::<Vec<_>>(), vec![e1, e3, e4, e5]);
+        let neighbors: Vec<NodeId> = g.incident_with_neighbors(0).map(|(_, y)| y).collect();
+        assert_eq!(neighbors, vec![1, 3, 4, 2]);
+    }
+
+    #[test]
+    fn slab_churn_reuses_arena_memory() {
+        // Grow one node's slab through several doublings, then grow another
+        // node: the freed smaller slabs must be recycled, so the arena stays
+        // within a constant factor of the live entry count.
+        let mut g = Graph::new(64);
+        for v in 1..33 {
+            g.add_edge(0, v, 1).unwrap();
+        }
+        let after_first = g.adjacency.entries.len();
+        for v in 2..33 {
+            g.add_edge(1, v, 1).unwrap();
+        }
+        // Node 1's growth path (4 → 8 → 16 → 32) reuses node 0's released
+        // slabs of the same sizes; only the largest capacity is fresh.
+        assert!(
+            g.adjacency.entries.len() <= after_first + 32,
+            "arena grew by {} entries, expected ≤ 32 (free-list reuse)",
+            g.adjacency.entries.len() - after_first
+        );
+    }
+
+    #[test]
+    fn serde_round_trips_through_the_logical_state() {
+        use serde::{Deserialize as _, Serialize as _};
+        let mut g = triangle();
+        g.remove_edge(1, 2);
+        g.add_edge(1, 2, 9).unwrap();
+        let back = Graph::from_value(&g.to_value()).unwrap();
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+        for e in g.live_edges() {
+            assert!(back.is_live(e));
+            assert_eq!(back.edge(e), g.edge(e));
+        }
+        assert_eq!(back.edge_between(1, 2), g.edge_between(1, 2));
     }
 
     #[test]

@@ -151,7 +151,7 @@ pub fn verify_mst(g: &Graph, forest: &SpanningForest) -> Result<(), String> {
 /// The (unique) minimum-weight live edge crossing the cut `(S, V\S)`, if any.
 /// `side[x]` is true iff `x ∈ S`.
 pub fn min_cut_edge(g: &Graph, side: &[bool]) -> Option<EdgeId> {
-    g.cut(side).into_iter().min_by_key(|&e| g.unique_weight(e))
+    g.cut_iter(side).min_by_key(|&e| g.unique_weight(e))
 }
 
 #[cfg(test)]

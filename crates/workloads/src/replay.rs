@@ -343,14 +343,22 @@ impl ReplayHarness {
 
     // -- rebuild policies --------------------------------------------------
 
-    fn rebuild(
+    /// Runs one from-scratch construction on the reusable scratch network.
+    ///
+    /// The scratch arena replaces the old per-event `graph.clone()` +
+    /// `Network::new`: [`Network::reset`] restores the pristine
+    /// pre-construction state (no marks, zero cost, RNG reseeded from the
+    /// step-mixed seed), which is observationally identical to a fresh
+    /// network — same seeds, same graph, same `EdgeId`s — without paying an
+    /// O(m) topology rebuild per event.
+    fn rebuild_in(
         &self,
-        graph: &Graph,
+        net: &mut Network,
         policy: MaintenancePolicy,
         step: usize,
-    ) -> Result<(Network, CostReport), ReplayError> {
-        // Each rebuild runs on a fresh network whose seed mixes the step in,
-        // deterministically: the same trace always costs the same.
+    ) -> Result<CostReport, ReplayError> {
+        // Each rebuild's seed mixes the step in, deterministically: the same
+        // trace always costs the same.
         let seed = self.config.seed ^ (step as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let scheduler = match policy {
             // GHS is specified in synchronous rounds; the others are
@@ -358,35 +366,31 @@ impl ReplayHarness {
             MaintenancePolicy::RebuildGhs => Scheduler::Synchronous,
             _ => self.config.scheduler,
         };
-        let mut net = Network::new(
-            graph.clone(),
-            NetworkConfig { scheduler, seed, ..NetworkConfig::default() },
-        );
+        net.reset(NetworkConfig { scheduler, seed, ..NetworkConfig::default() });
         let mut rng = StdRng::seed_from_u64(seed ^ 0xD15E_A5E0);
         match (policy, self.config.kind) {
             (MaintenancePolicy::RebuildKkt, TreeKind::Mst) => {
-                build_mst(&mut net, &KktConfig::default(), &mut rng)?;
+                build_mst(net, &KktConfig::default(), &mut rng)?;
             }
             (MaintenancePolicy::RebuildKkt, TreeKind::St) => {
-                build_st(&mut net, &KktConfig::default(), &mut rng)?;
+                build_st(net, &KktConfig::default(), &mut rng)?;
             }
             (MaintenancePolicy::RebuildGhs, _) => {
-                build_mst_ghs(&mut net);
+                build_mst_ghs(net);
             }
             (MaintenancePolicy::RebuildFlood, _) => {
                 // Flood from one representative per component: flooding only
                 // spans the root's component, and partition scenarios really
                 // do disconnect the network.
-                for root in component_representatives(graph) {
-                    build_st_by_flooding(&mut net, root)?;
+                for root in component_representatives(net.graph()) {
+                    build_st_by_flooding(net, root)?;
                 }
             }
             (MaintenancePolicy::Impromptu | MaintenancePolicy::BatchedRepair, _) => {
                 unreachable!("handled by replay_impromptu")
             }
         }
-        let cost = net.cost();
-        Ok((net, cost))
+        Ok(net.cost())
     }
 
     fn replay_rebuild(
@@ -397,22 +401,48 @@ impl ReplayHarness {
     ) -> Result<ReplayReport, ReplayError> {
         let mut report = self.report_skeleton(base, workload, policy);
         let mut oracle = ShadowOracle::new(base);
-        let (_, build_cost) = self.rebuild(oracle.graph(), policy, usize::MAX)?;
-        report.build = build_cost;
+        // One scratch network per policy, reset (not re-cloned) per event.
+        // Its graph mirrors the oracle's update-for-update, so `EdgeId`s stay
+        // aligned with the oracle's forest across the whole trace.
+        let mut scratch = Network::new(base.clone(), NetworkConfig::default());
+        report.build = self.rebuild_in(&mut scratch, policy, usize::MAX)?;
 
         let total = workload.len();
         for (i, event) in workload.events.iter().enumerate() {
-            primitives_as_updates(event, &mut oracle).map_err(ReplayError::InvalidTrace)?;
-            let (net, cost) = self.rebuild(oracle.graph(), policy, i)?;
+            let updates =
+                primitives_as_updates(event, &mut oracle).map_err(ReplayError::InvalidTrace)?;
+            mirror_updates(&mut scratch, &updates)?;
+            let cost = self.rebuild_in(&mut scratch, policy, i)?;
             report.push_event(i, event.kind(), cost);
             if self.checkpoint_due(i, total) {
-                self.verify_checkpoint(&oracle, &net.marked_forest_snapshot(), i)?;
+                self.verify_checkpoint(&oracle, &scratch.marked_forest_snapshot(), i)?;
                 report.checkpoints_verified += 1;
             }
         }
         report.finalize();
         Ok(report)
     }
+}
+
+/// Applies the oracle-validated updates of one top-level event to the scratch
+/// network's graph, keeping it (and its `EdgeId` allocation order) in
+/// lockstep with the oracle's shadow graph.
+fn mirror_updates(net: &mut Network, updates: &[Update]) -> Result<(), ReplayError> {
+    for update in updates {
+        let applied = match *update {
+            Update::Delete { u, v } => net.delete_edge(u, v).is_some(),
+            Update::Insert { u, v, weight } => net.insert_edge(u, v, weight).is_some(),
+            Update::IncreaseWeight { u, v, weight } | Update::DecreaseWeight { u, v, weight } => {
+                net.change_weight(u, v, weight).is_some()
+            }
+        };
+        if !applied {
+            return Err(ReplayError::InvalidTrace(format!(
+                "scratch network diverged from the oracle on {update:?}"
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// Flattens a top-level event into `Update`s against (and applied to) the
