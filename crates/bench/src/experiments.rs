@@ -17,9 +17,9 @@ use kkt_core::{
 };
 use kkt_graphs::{generators, kruskal, Graph};
 use kkt_workloads::{
-    run_churn_suite, AdversarialTreeCut, ChurnSuiteReport, MaintenancePolicy, MixedPhases,
-    MultiEdgeCuts, PoissonChurn, ReplayConfig, ReplayHarness, ScalePoint, ScaleSweepReport,
-    Scenario, ScenarioComparison, SuiteParams,
+    run_churn_suite, AdversarialTreeCut, ChurnSuiteReport, Density, DensityPoint,
+    DensitySweepReport, MaintenancePolicy, MixedPhases, MultiEdgeCuts, PoissonChurn, ReplayConfig,
+    ReplayHarness, ScalePoint, ScaleSweepReport, Scenario, ScenarioComparison, SuiteParams,
 };
 
 use crate::stats::Summary;
@@ -543,6 +543,7 @@ pub fn exp10_batched_repair(scale: Scale, seed: u64) -> (Table, ChurnSuiteReport
         n: base.node_count(),
         m: base.edge_count(),
         events_per_scenario: events,
+        m_over_n: kkt_workloads::report::m_over_n(&base),
         seed,
         tree_kind: "mst".to_string(),
         scheduler: kkt_workloads::report::scheduler_label(params.scheduler),
@@ -847,6 +848,138 @@ pub fn exp12_wallclock(scale: Scale, seed: u64, only_n: Option<usize>) -> (Table
     (table, report)
 }
 
+/// E13 — the dynamic density sweep: where does rebuild-from-scratch stop
+/// being competitive *under churn*? E8 located the static construction
+/// crossover (messages vs `m` for one build); E13 asks the maintained
+/// question the ROADMAP's density item names: a Poisson-churn trace and an
+/// adversarial tree-cut trace replayed under all four MST maintenance
+/// policies at every rung of the `m/n ∈ {2, 4, 8, 16, n/8, n/2}` ladder
+/// ([`Density::LADDER`]), for each grid size `n`. Repair policies price
+/// `Õ(n)` per event independent of density; `rebuild_ghs` is `O(m + n log
+/// n)` per event, so its bits grow linearly along the ladder — the per-
+/// family crossover (tabulated in `EXPERIMENTS.md` §E13) is where those
+/// curves cross.
+///
+/// `only_n` restricts the sweep to one grid size (the `KKT_EXP13_N`
+/// environment variable in the binary) — CI runs the n = 256 column (whose
+/// densest rung is the complete graph `K_256`) twice inside a wall-clock
+/// budget and asserts byte-identical reports.
+///
+/// Returns the printable table *and* the sealed deterministic JSON report.
+pub fn exp13_dynamic_density(
+    scale: Scale,
+    seed: u64,
+    only_n: Option<usize>,
+) -> (Table, DensitySweepReport) {
+    let sizes: Vec<usize> = scale
+        .density_grid_sizes()
+        .into_iter()
+        .filter(|&n| only_n.is_none_or(|only| only == n))
+        .collect();
+    // An unmatched restriction must fail loudly, not emit an empty report
+    // the CI byte-compare would green-light (same guard as exp11/exp12).
+    assert!(
+        !sizes.is_empty(),
+        "KKT_EXP13_N={:?} matches no rung of the {:?} grid {:?}",
+        only_n,
+        scale,
+        scale.density_grid_sizes()
+    );
+    let policies = MaintenancePolicy::all_for(kkt_core::TreeKind::Mst);
+    let mut points = Vec::new();
+    let mut scheduler = String::new();
+    for n in sizes {
+        for &density in &Density::LADDER {
+            let params = SuiteParams { seed, ..SuiteParams::density_preset(n, density) };
+            let base = params.base_graph();
+            let harness = ReplayHarness::new(ReplayConfig {
+                kind: params.kind,
+                scheduler: params.scheduler,
+                verify_every: params.verify_every,
+                seed,
+                paranoid: false,
+            });
+            scheduler = kkt_workloads::report::scheduler_label(params.scheduler);
+            // The same two regimes as the scale sweep: steady background
+            // churn (how often does churn hit the tree at this density?) and
+            // the adversary that severs a tree edge every deletion (what
+            // does a forced repair cost at this density?).
+            let scenarios: Vec<Box<dyn Scenario>> = vec![
+                Box::new(PoissonChurn { delete_fraction: 0.5, max_weight: params.max_weight }),
+                Box::new(AdversarialTreeCut { max_weight: params.max_weight }),
+            ];
+            for scenario in scenarios {
+                let workload = scenario.generate(&base, params.events, seed);
+                let stats = workload.validate(&base).expect("generated trace is applicable");
+                let mut reports = Vec::new();
+                for &policy in &policies {
+                    reports.push(
+                        harness
+                            .replay(&base, &workload, policy)
+                            .expect("every checkpoint verifies against the shadow oracle"),
+                    );
+                }
+                points.push(DensityPoint {
+                    n: base.node_count(),
+                    m: base.edge_count(),
+                    density: density.label(),
+                    m_over_n: kkt_workloads::report::m_over_n(&base),
+                    events: workload.len(),
+                    verify_every: params.verify_every,
+                    scenario: workload.scenario.clone(),
+                    workload_fingerprint: workload.fingerprint(),
+                    stats,
+                    reports,
+                });
+            }
+        }
+    }
+    let mut report = DensitySweepReport {
+        seed,
+        tree_kind: "mst".to_string(),
+        scheduler,
+        points,
+        fingerprint: String::new(),
+    };
+    report.seal();
+
+    let mut table = Table::new(
+        "E13: dynamic density sweep — bits per event vs m/n, repair vs rebuild under churn",
+        &[
+            "n",
+            "m",
+            "m/n",
+            "scenario",
+            "policy",
+            "events",
+            "bits_total",
+            "bits/event",
+            "vs_rebuild(bits)",
+            "checkpoints",
+        ],
+    );
+    for point in &report.points {
+        let rebuild_bits =
+            point.report_for("rebuild_kkt").map(|r| r.total.bits).unwrap_or(0).max(1);
+        for r in &point.reports {
+            let events = r.top_level_events.max(1) as f64;
+            table.push_row(vec![
+                point.n.to_string(),
+                point.m.to_string(),
+                point.density.clone(),
+                point.scenario.clone(),
+                r.policy.clone(),
+                r.top_level_events.to_string(),
+                r.total.bits.to_string(),
+                format!("{:.0}", r.total.bits as f64 / events),
+                format!("{:.3}x", r.total.bits as f64 / rebuild_bits as f64),
+                r.checkpoints_verified.to_string(),
+            ]);
+        }
+    }
+    (table, report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1002,6 +1135,76 @@ mod tests {
         for (a, b) in report.rungs[0].policies.iter().zip(&again.rungs[0].policies) {
             assert_eq!((a.bits, a.messages, a.checkpoints), (b.bits, b.messages, b.checkpoints));
         }
+    }
+
+    #[test]
+    fn exp13_density_sweep_prices_the_whole_ladder() {
+        // One grid column (n = 48) of the quick sweep: 6 density rungs × 2
+        // scenarios, each under all four MST policies, every checkpoint
+        // verified.
+        let (table, report) = exp13_dynamic_density(Scale::Quick, 0xFEED, Some(48));
+        assert_eq!(report.points.len(), 6 * 2, "six rungs x two scenarios");
+        assert_eq!(table.len(), 6 * 2 * 4);
+        assert_eq!(report.fingerprint.len(), 16);
+        let n = 48;
+        let max_edges = n * (n - 1) / 2;
+        for point in &report.points {
+            assert_eq!(point.n, n);
+            assert_eq!(point.reports.len(), 4, "density={}", point.density);
+            for r in &point.reports {
+                assert!(r.checkpoints_verified > 0, "{}/{}", point.density, r.policy);
+            }
+            assert!((point.m_over_n - point.m as f64 / n as f64).abs() < 1e-12);
+            if point.density == "n/2" {
+                assert_eq!(point.m, max_edges, "the densest rung is K_n");
+            }
+        }
+        // Density is the sweep axis: the achieved m must rise from the "2"
+        // rung to the "n/2" rung within a scenario family.
+        let poisson: Vec<&DensityPoint> =
+            report.points.iter().filter(|p| p.scenario.starts_with("poisson")).collect();
+        assert_eq!(poisson.len(), 6);
+        assert!(poisson.first().unwrap().m < poisson.last().unwrap().m);
+        // Both repair policies undercut rebuild_kkt at every grid cell (the
+        // paper's own construction re-run pays its large constants per
+        // event at every density).
+        for point in &report.points {
+            let rebuild = point.report_for("rebuild_kkt").unwrap();
+            for policy in ["impromptu_repair", "batched_repair"] {
+                let r = point.report_for(policy).unwrap();
+                assert!(
+                    r.total.bits < rebuild.total.bits,
+                    "{}/{}/{}: repair must undercut rebuild_kkt",
+                    point.density,
+                    point.scenario,
+                    policy
+                );
+            }
+        }
+        // Under steady Poisson churn at the densest rung, churn almost never
+        // severs the tree (a random deletion hits the MST with probability
+        // ≈ n/m), so repair beats even the cheap GHS rebuild outright.
+        let dense_poisson = report
+            .points
+            .iter()
+            .find(|p| p.density == "n/2" && p.scenario.starts_with("poisson"))
+            .unwrap();
+        let repair = dense_poisson.report_for("impromptu_repair").unwrap();
+        let ghs = dense_poisson.report_for("rebuild_ghs").unwrap();
+        assert!(
+            repair.total.bits < ghs.total.bits,
+            "K_n poisson: repair ({} bits) must undercut GHS rebuild ({} bits)",
+            repair.total.bits,
+            ghs.total.bits
+        );
+    }
+
+    #[test]
+    fn exp13_only_n_restriction_must_match_a_rung() {
+        let result = std::panic::catch_unwind(|| {
+            exp13_dynamic_density(Scale::Quick, 1, Some(1234));
+        });
+        assert!(result.is_err(), "an unmatched KKT_EXP13_N must fail loudly");
     }
 
     #[test]

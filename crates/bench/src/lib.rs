@@ -63,6 +63,18 @@ impl Scale {
         }
     }
 
+    /// Node counts for the dynamic density sweep (E13): the `n` axis of the
+    /// `n × m/n` grid. Kept below the scale-sweep rungs because the dense
+    /// end of the ladder is `m = Θ(n²)` — the n = 256 large rung already
+    /// replays the complete graph `K_256` (`KKT_EXP13_N` restricts a run to
+    /// one rung, which is how CI prices it twice under a wall-clock budget).
+    pub fn density_grid_sizes(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![48, 96],
+            Scale::Large => vec![128, 256],
+        }
+    }
+
     /// Trials per configuration.
     pub fn trials(self) -> usize {
         match self {

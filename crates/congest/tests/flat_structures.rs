@@ -135,6 +135,86 @@ impl Protocol for Probe {
 }
 
 #[test]
+fn cached_network_matches_fresh_network_on_dense_graphs() {
+    // The E13 dense rung (`m/n = n/2`, the complete graph): every node's
+    // cached view carries Θ(n) incident entries, every churn primitive
+    // dirties two views of that size, and the neighbor-sorted `edge_to`
+    // index runs at its widest. The 64-case sweep below tops out around
+    // `p = 0.3`; this one holds the network at (and just below) K_n through
+    // delete/insert/reweight/mark cycles and demands byte-identical engine
+    // stats against a freshly built network after every event.
+    for case in 0u64..16 {
+        let mut rng = StdRng::seed_from_u64(0xDE45E + case);
+        let n = rng.gen_range(10..26);
+        let base = generators::connected_dense(n, n * n / 2, 300, &mut rng);
+        assert_eq!(base.edge_count(), n * (n - 1) / 2, "case {case}: base is K_n");
+        let mst = kkt_graphs::kruskal(&base);
+
+        let mut live = Network::new(base.clone(), NetworkConfig::default());
+        live.mark_all(&mst.edges);
+        let mut shadow = base;
+        let mut marks: BTreeSet<EdgeId> = mst.edges.iter().copied().collect();
+
+        // One delete/insert/reweight/mark-toggle cycle per step, always on
+        // the dense structure (deletions are immediately healed next step
+        // by reinserting the absent pair, so the graph never leaves K_n by
+        // more than one edge).
+        let mut hole: Option<(NodeId, NodeId)> = None;
+        for step in 0..20 {
+            match (hole.take(), step % 3) {
+                (Some((u, v)), _) => {
+                    let w = rng.gen_range(1..300);
+                    let got = live.insert_edge(u, v, w);
+                    let want = shadow.add_edge(u, v, w);
+                    assert_eq!(got, want, "case {case} step {step}: heal");
+                }
+                (None, 0) => {
+                    let edges: Vec<EdgeId> = shadow.live_edges().collect();
+                    let e = edges[rng.gen_range(0..edges.len())];
+                    let edge = *shadow.edge(e);
+                    live.delete_edge(edge.u, edge.v).unwrap();
+                    shadow.remove_edge(edge.u, edge.v).unwrap();
+                    marks.remove(&e);
+                    hole = Some((edge.u, edge.v));
+                }
+                (None, 1) => {
+                    let edges: Vec<EdgeId> = shadow.live_edges().collect();
+                    let e = edges[rng.gen_range(0..edges.len())];
+                    let edge = *shadow.edge(e);
+                    let w = rng.gen_range(1..300);
+                    live.change_weight(edge.u, edge.v, w).unwrap();
+                    shadow.set_weight(edge.u, edge.v, w).unwrap();
+                }
+                (None, _) => {
+                    let edges: Vec<EdgeId> = shadow.live_edges().collect();
+                    let e = edges[rng.gen_range(0..edges.len())];
+                    if marks.remove(&e) {
+                        live.unmark(e);
+                    } else {
+                        live.mark(e);
+                        marks.insert(e);
+                    }
+                }
+            }
+
+            let mut fresh = Network::new(shadow.clone(), NetworkConfig::default());
+            let mark_vec: Vec<EdgeId> = marks.iter().copied().collect();
+            fresh.mark_all(&mark_vec);
+            for x in 0..n {
+                assert_eq!(live.view(x), fresh.view(x), "case {case} step {step} node {x}");
+            }
+            let (_, live_stats) = Engine::run_all(&mut live, |_| Probe).unwrap();
+            let (_, fresh_stats) = Engine::run_all(&mut fresh, |_| Probe).unwrap();
+            assert_eq!(live_stats, fresh_stats, "case {case} step {step}: engine stats");
+        }
+        assert!(
+            shadow.edge_count() + 1 >= n * (n - 1) / 2,
+            "case {case}: the churn left the dense regime"
+        );
+    }
+}
+
+#[test]
 fn cached_network_matches_fresh_network_after_every_event_kind_64_cases() {
     for case in 0u64..64 {
         let mut rng = StdRng::seed_from_u64(0xCAC4E + case);

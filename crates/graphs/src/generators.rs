@@ -88,6 +88,40 @@ pub fn connected_with_edges<R: Rng>(n: usize, m: usize, max_weight: Weight, rng:
     g
 }
 
+/// A connected graph with *exactly* `min(m, n(n-1)/2)` edges, built as a
+/// random tree plus a uniform sample (without replacement) of the absent
+/// pairs. This is the dense-regime builder: [`connected_with_edges`] fills by
+/// rejection, whose hit rate collapses as the graph approaches complete (at
+/// `m = n(n-1)/2` it degenerates into a coupon collector), while this one
+/// enumerates the `O(n²)` absent pairs once and partial-Fisher–Yates-samples
+/// the extras — the same distribution, exact edge counts, bounded work at
+/// every density rung up to `K_n`. Used by the dynamic density sweeps
+/// (`m/n ∈ {2 … n/2}`, experiment E13).
+pub fn connected_dense<R: Rng>(n: usize, m: usize, max_weight: Weight, rng: &mut R) -> Graph {
+    let mut g = random_tree(n, max_weight, rng);
+    let max_edges = if n < 2 { 0 } else { n * (n - 1) / 2 };
+    let target = m.min(max_edges);
+    if target <= g.edge_count() {
+        return g;
+    }
+    let mut absent: Vec<(NodeId, NodeId)> = Vec::with_capacity(max_edges - g.edge_count());
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if g.edge_between(u, v).is_none() {
+                absent.push((u, v));
+            }
+        }
+    }
+    let extra = target - g.edge_count();
+    for i in 0..extra {
+        let j = rng.gen_range(i..absent.len());
+        absent.swap(i, j);
+        let (u, v) = absent[i];
+        g.add_edge(u, v, random_weight(max_weight, rng));
+    }
+    g
+}
+
 /// The complete graph `K_n` with i.i.d. uniform weights — the densest regime,
 /// `m = n(n-1)/2`, where the folk-theorem Ω(m) cost is most expensive.
 pub fn complete<R: Rng>(n: usize, max_weight: Weight, rng: &mut R) -> Graph {
@@ -353,6 +387,38 @@ mod tests {
         assert!(g.is_connected());
         assert!(g.edge_count() >= 250, "got {}", g.edge_count());
         assert!(g.edge_count() <= 300);
+    }
+
+    #[test]
+    fn connected_dense_hits_exact_density_at_every_rung() {
+        let mut r = rng();
+        let n = 40;
+        let max_edges = n * (n - 1) / 2;
+        // The E13 ladder: m/n ∈ {2, 4, 8, 16, n/8, n/2} (the last clamps to
+        // complete), plus the tree-only floor and an over-complete request.
+        for m in [n - 1, 2 * n, 4 * n, 8 * n, 16 * n, n * n / 8, n * n / 2, 10 * n * n] {
+            let g = connected_dense(n, m, 100, &mut r);
+            assert!(g.is_connected(), "m={m}");
+            assert_eq!(g.edge_count(), m.clamp(n - 1, max_edges), "m={m}: exact edge count");
+            for e in g.live_edges() {
+                assert!((1..=100).contains(&g.edge(e).weight));
+            }
+        }
+        // Degenerate sizes stay well-defined.
+        assert_eq!(connected_dense(1, 5, 10, &mut r).edge_count(), 0);
+        assert_eq!(connected_dense(2, 5, 10, &mut r).edge_count(), 1);
+    }
+
+    #[test]
+    fn connected_dense_is_deterministic_per_seed() {
+        let a = connected_dense(24, 24 * 12, 500, &mut StdRng::seed_from_u64(9));
+        let b = connected_dense(24, 24 * 12, 500, &mut StdRng::seed_from_u64(9));
+        let ea: Vec<_> = a.live_edges().map(|e| *a.edge(e)).collect();
+        let eb: Vec<_> = b.live_edges().map(|e| *b.edge(e)).collect();
+        assert_eq!(ea, eb);
+        let c = connected_dense(24, 24 * 12, 500, &mut StdRng::seed_from_u64(10));
+        let ec: Vec<_> = c.live_edges().map(|e| *c.edge(e)).collect();
+        assert_ne!(ea, ec, "different seeds draw different graphs");
     }
 
     #[test]

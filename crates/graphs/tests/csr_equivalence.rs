@@ -167,6 +167,79 @@ fn csr_graph_matches_reference_over_64_seeded_traces() {
 }
 
 #[test]
+fn csr_graph_matches_reference_at_half_n_density() {
+    // The E13 dense rung (`m/n = n/2`, i.e. the complete graph): fill the
+    // structure to `K_n` first, then churn near-complete — the regime where
+    // the pair table runs at its highest load factor and the slab arena
+    // recycles constantly, and which the mixed sweep above (random ops on a
+    // mostly-sparse graph) never holds it in.
+    for case in 0u64..32 {
+        let mut rng = StdRng::seed_from_u64(0xDE05E + case);
+        let n = rng.gen_range(8..28);
+        let max_edges = n * (n - 1) / 2;
+        let mut g = Graph::new(n);
+        let mut r = RefGraph::new(n);
+        // Phase 1: fill to complete, checking parity along the way.
+        for u in 0..n {
+            for v in (u + 1)..n {
+                let w = rng.gen_range(1..1_000);
+                let got = g.add_edge(u, v, w);
+                let want = r.add_edge(u, v, w);
+                assert_eq!(got.map(|e| e.0), want, "case {case}: fill ({u}, {v})");
+            }
+        }
+        assert_eq!(g.edge_count(), max_edges, "case {case}: K_n reached");
+        assert_equivalent(&g, &r, case, 0);
+        // Phase 2: band-controlled churn holding the graph within 8 edges
+        // of K_n (deletions of random live edges vs refills of enumerated
+        // absent pairs, plus weight moves) — parity after every op.
+        for step in 1..=200 {
+            let deficit = max_edges - r.live_edges().len();
+            match rng.gen_range(0..3) {
+                0 if deficit < 8 => {
+                    let live = r.live_edges();
+                    let e = live[rng.gen_range(0..live.len())];
+                    let (u, v, _) = r.edges[e];
+                    let got = g.remove_edge(u, v);
+                    let want = r.remove_edge(u, v);
+                    assert_eq!(got.map(|e| e.0), want, "case {case} step {step}: remove_edge");
+                }
+                1 if deficit > 0 => {
+                    let mut absent = Vec::with_capacity(deficit);
+                    for u in 0..n {
+                        for v in (u + 1)..n {
+                            if !r.present.contains(&(u, v)) {
+                                absent.push((u, v));
+                            }
+                        }
+                    }
+                    let (u, v) = absent[rng.gen_range(0..absent.len())];
+                    let w = rng.gen_range(1..1_000);
+                    let got = g.add_edge(u, v, w);
+                    let want = r.add_edge(u, v, w);
+                    assert_eq!(got.map(|e| e.0), want, "case {case} step {step}: add_edge");
+                }
+                _ => {
+                    let live = r.live_edges();
+                    let e = live[rng.gen_range(0..live.len())];
+                    let (u, v, _) = r.edges[e];
+                    let w = rng.gen_range(1..1_000);
+                    let got = g.set_weight(u, v, w);
+                    let want = r.set_weight(u, v, w);
+                    assert_eq!(got, want, "case {case} step {step}: set_weight");
+                }
+            }
+            if step % 40 == 0 {
+                assert_equivalent(&g, &r, case, step);
+            }
+        }
+        assert_equivalent(&g, &r, case, usize::MAX);
+        // The band held: the structure stayed dense through the whole churn.
+        assert!(g.edge_count() + 8 >= max_edges, "case {case} left the dense band");
+    }
+}
+
+#[test]
 fn csr_graph_clone_is_independent() {
     let mut rng = StdRng::seed_from_u64(7);
     let mut g = Graph::new(10);

@@ -108,6 +108,53 @@ fn incremental_oracle_forest_is_always_a_verified_msf() {
     }
 }
 
+/// A dense graph for the differential density sweep: `m/n = 8` on even
+/// seeds, `m/n = n/2` (the complete graph) on odd seeds — the two rungs the
+/// E13 ladder adds above anything the historical sweep (`connected_gnp`
+/// with `p < 0.6`) ever reached.
+fn arb_dense_graph(seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDE5E_4242_1111_7777);
+    let n = rng.gen_range(8usize..40);
+    let maxw = rng.gen_range(1u64..1000);
+    let m = if seed.is_multiple_of(2) { 8 * n } else { n * n / 2 };
+    generators::connected_dense(n, m, maxw, &mut rng)
+}
+
+#[test]
+fn incremental_oracle_matches_paranoid_kruskal_on_dense_graphs() {
+    // The E13 differential backbone: 64 seeded cases at m/n ∈ {8, n/2},
+    // each replaying a mixed-lifecycle trace (churn + weight moves) with
+    // paranoid mode on — every update re-runs the full Kruskal *inside* the
+    // oracle as a cross-check — while the external assertions compare the
+    // incremental forest to an independent Kruskal run and push it through
+    // the public checkpoint verifiers the replay harness uses. Dense graphs
+    // are where the cut/cycle rules earn their keep (many non-tree edges
+    // per cut, cycles everywhere), and none of the historical cases went
+    // above `p = 0.6`.
+    for seed in 0..CASES {
+        let g = arb_dense_graph(seed);
+        // Density sanity: every case sits well above the sparse regime (the
+        // 8n budget clamps to the complete graph below n = 17).
+        assert!(g.edge_count() >= 3 * g.node_count(), "seed {seed} is not dense");
+        let mut oracle = ShadowOracle::new(&g);
+        oracle.set_paranoid(true);
+        let trace = mixed_trace(&g, 24, seed ^ 0xD15C);
+        assert!(!trace.is_empty(), "seed {seed}");
+        for (i, update) in trace.iter().enumerate() {
+            oracle.apply(update).unwrap_or_else(|e| panic!("seed {seed}, event {i}: {e}"));
+            let forest = oracle.forest();
+            let reference = kruskal(oracle.graph());
+            assert_eq!(
+                forest, reference,
+                "seed {seed}, event {i} ({update:?}): dense incremental forest diverged"
+            );
+            oracle.verify_msf(&forest).unwrap_or_else(|e| panic!("seed {seed}, event {i}: {e}"));
+            verify_mst(oracle.graph(), &forest)
+                .unwrap_or_else(|e| panic!("seed {seed}, event {i}: {e}"));
+        }
+    }
+}
+
 #[test]
 fn paranoid_mode_accepts_the_whole_sweep() {
     // Paranoid mode re-runs Kruskal inside the oracle after every update; a

@@ -24,6 +24,28 @@
 //! * **Reports** — per-event and cumulative [`ReplayReport`]s, and the
 //!   multi-scenario [`ChurnSuiteReport`] the `exp9_churn_policies` binary
 //!   serialises as deterministic JSON.
+//! * **Density axis** — [`SuiteParams::density_preset`] instantiates any
+//!   suite at a rung of the [`Density`] ladder
+//!   (`m/n ∈ {2, 4, 8, 16, n/8, n/2}`, where `n/2` is the complete graph):
+//!   the base graph is rejection-sampled below a quarter of `K_n` and
+//!   exactly enumerated by `kkt_graphs::generators::connected_dense` above
+//!   it, every scenario generator is well-defined from the tree-only floor
+//!   (`m = n - 1`) to `K_n`, and the achieved `m/n` is recorded in (and
+//!   fingerprinted with) every suite report. The `exp13_dynamic_density`
+//!   binary sweeps the whole `n × m/n` grid (EXPERIMENTS.md §E13).
+//!
+//! ```rust
+//! use kkt_workloads::{run_churn_suite, Density, SuiteParams};
+//!
+//! // The densest rung of the ladder at n = 16: the complete graph K_16.
+//! let params = SuiteParams {
+//!     events: 4,
+//!     verify_every: 2,
+//!     ..SuiteParams::density_preset(16, Density::NOver2)
+//! };
+//! let report = run_churn_suite(&params).unwrap();
+//! assert_eq!(report.m, 16 * 15 / 2);
+//! ```
 //!
 //! # Example
 //!
@@ -55,11 +77,12 @@ pub use event::WorkloadEvent;
 pub use fingerprint::{fingerprint_hex, fnv1a64};
 pub use replay::{MaintenancePolicy, ReplayConfig, ReplayError, ReplayHarness};
 pub use report::{
-    ChurnSuiteReport, EventCost, ReplayReport, ScalePoint, ScaleSweepReport, ScenarioComparison,
+    ChurnSuiteReport, DensityPoint, DensitySweepReport, EventCost, ReplayReport, ScalePoint,
+    ScaleSweepReport, ScenarioComparison,
 };
 pub use scenarios::{
     standard_suite, AdversarialTreeCut, MixedPhases, MultiEdgeCuts, PartitionHeal, PoissonChurn,
     Scenario, WeightDrift,
 };
-pub use suite::{run_churn_suite, SuiteParams};
+pub use suite::{run_churn_suite, Density, SuiteParams};
 pub use workload::{Workload, WorkloadStats};

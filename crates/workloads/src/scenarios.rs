@@ -56,18 +56,44 @@ fn random_weight(max_weight: Weight, rng: &mut StdRng) -> Weight {
 }
 
 /// A uniformly random absent pair, or `None` if the graph is complete.
+///
+/// Sparse graphs sample by rejection (the historical path — the same RNG
+/// draws, so pre-density-ladder traces are unchanged); once the absent pool
+/// shrinks below 1/8 of all pairs the rejection hit rate collapses, so dense
+/// graphs pick a uniform index into the *enumerated* absent pool instead.
+/// The rejection loop is also capped — after 512 misses (probability
+/// ≤ (7/8)^512 whenever the pool guard admits the loop) it falls through to
+/// the same enumeration — so the sampler bails deterministically instead of
+/// spinning, whatever the caller hands it.
 fn random_absent_pair(g: &Graph, rng: &mut StdRng) -> Option<(NodeId, NodeId)> {
     let n = g.node_count();
-    if n < 2 || g.edge_count() >= n * (n - 1) / 2 {
+    let max_pairs = if n < 2 { 0 } else { n * (n - 1) / 2 };
+    let absent = max_pairs.saturating_sub(g.edge_count());
+    if absent == 0 {
         return None;
     }
-    loop {
-        let u = rng.gen_range(0..n);
-        let v = rng.gen_range(0..n);
-        if u != v && g.edge_between(u, v).is_none() {
-            return Some((u, v));
+    if absent * 8 >= max_pairs {
+        for _ in 0..512 {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v && g.edge_between(u, v).is_none() {
+                return Some((u, v));
+            }
         }
     }
+    // Deterministic fallback: the k-th absent pair in lexicographic order.
+    let mut k = rng.gen_range(0..absent);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if g.edge_between(u, v).is_none() {
+                if k == 0 {
+                    return Some((u, v));
+                }
+                k -= 1;
+            }
+        }
+    }
+    unreachable!("the absent pool was counted above")
 }
 
 /// Bridge flags for all live edges (indexed by `EdgeId`), computed with one
@@ -266,7 +292,15 @@ impl Scenario for AdversarialTreeCut {
         let mut out = Vec::with_capacity(events);
         for step in 0..events {
             let replenish = step % 3 == 2;
-            let event = if replenish {
+            // Each phase falls back on the other at the density extremes, so
+            // the adversary stays well-defined on the whole ladder: on the
+            // complete graph there is no absent pair to replenish (cut a tree
+            // edge instead); on the tree-only rung every tree edge is a
+            // bridge (replenish instead). A connected graph with any
+            // non-tree edge always has a non-bridge tree edge, so the
+            // fallback never fires — and the trace never changes — on the
+            // historical sparse presets.
+            let mut event = if replenish {
                 random_absent_pair(&shadow, &mut rng).map(|(u, v)| WorkloadEvent::InsertEdge {
                     u,
                     v,
@@ -275,7 +309,18 @@ impl Scenario for AdversarialTreeCut {
             } else {
                 random_delete_event(&shadow, true, &mut rng)
             };
-            let Some(event) = event else { continue };
+            if event.is_none() {
+                event = if replenish {
+                    random_delete_event(&shadow, true, &mut rng)
+                } else {
+                    random_absent_pair(&shadow, &mut rng).map(|(u, v)| WorkloadEvent::InsertEdge {
+                        u,
+                        v,
+                        weight: random_weight(self.max_weight, &mut rng),
+                    })
+                };
+            }
+            let Some(event) = event else { break };
             event.apply_to_graph(&mut shadow).expect("generator emits applicable events");
             out.push(event);
         }
@@ -315,7 +360,24 @@ impl Scenario for PartitionHeal {
         let mut shadow = base.clone();
         let mut out = Vec::with_capacity(events);
         while out.len() + 2 <= events {
-            let region_size = (shadow.node_count() / 4).max(2);
+            let n = shadow.node_count();
+            let m = shadow.edge_count();
+            // The burst must respect density: cutting off a quarter of a
+            // *dense* network severs Θ(m) boundary edges, so the burst size
+            // (and the repair bill it prices) would grow with m instead of
+            // staying the O(n)-edges correlated failure this scenario
+            // models. Keep the historical n/4 region through the sparse band
+            // (m ≤ 5n — covers the m/n = 4 presets and their churn drift,
+            // leaving every pre-ladder trace byte-identical) and shrink the
+            // region inversely with average degree above it, holding the
+            // expected boundary at O(n) edges on every density rung.
+            let avg_degree = (2 * m).div_ceil(n.max(1)).max(1);
+            let quarter = (n / 4).max(2);
+            let region_size = if 2 * m <= 10 * n {
+                quarter
+            } else {
+                (quarter * 8 / avg_degree).clamp(2, quarter)
+            };
             let side = random_region(&shadow, region_size, &mut rng);
             let cut = shadow.cut(&side);
             if cut.is_empty() {
@@ -496,6 +558,10 @@ impl Scenario for WeightDrift {
         let id = self.id();
         let mut rng = scenario_rng(&id, seed);
         let mut shadow = base.clone();
+        if shadow.edge_count() == 0 {
+            // An edgeless network has nothing to drift.
+            return finish(id, seed, base, Vec::new());
+        }
         // Hot set: all tree edges first, then non-tree edges, up to the
         // requested fraction of m.
         let tree = kruskal(&shadow);
@@ -712,6 +778,103 @@ mod tests {
         assert_eq!(a.fingerprint(), b.fingerprint());
         let c = scenario.generate(&g, 8, 78);
         assert_ne!(a.events, c.events);
+    }
+
+    #[test]
+    fn generators_stay_well_defined_on_the_tree_only_rung() {
+        // The m = n - 1 boundary: every live edge is a bridge and the
+        // non-tree pool is empty, so deletion samplers must bail (not spin)
+        // and fall through to insertions. Every standard family must
+        // terminate and emit an applicable trace.
+        let mut rng = StdRng::seed_from_u64(31);
+        let g = generators::random_tree(20, 400, &mut rng);
+        for scenario in standard_suite(400) {
+            let w = scenario.generate(&g, 12, 5);
+            let stats = w.validate(&g).unwrap_or_else(|e| panic!("{}: {e}", scenario.id()));
+            assert!(
+                stats.deletions + stats.insertions + stats.weight_changes > 0,
+                "{}: a tree-only base still admits events",
+                scenario.id()
+            );
+        }
+        // The adversary specifically: with no severable tree edge, every
+        // event falls back to replenishment until cycles exist, after which
+        // cuts resume — the trace must use its budget, not skip events.
+        let w = AdversarialTreeCut { max_weight: 400 }.generate(&g, 12, 5);
+        let stats = w.validate(&g).unwrap();
+        assert_eq!(w.len(), 12, "fallbacks spend the whole event budget");
+        assert!(stats.insertions > 0, "the tree-only rung forces replenishment first");
+        assert!(stats.deletions > 0, "inserted cycles re-arm the adversary");
+        // Poisson churn starts with insertions for the same reason.
+        let w = PoissonChurn { delete_fraction: 1.0, max_weight: 400 }.generate(&g, 6, 7);
+        let stats = w.validate(&g).unwrap();
+        assert!(stats.insertions > 0);
+        assert_eq!(stats.max_components, 1);
+    }
+
+    #[test]
+    fn generators_stay_well_defined_on_the_complete_rung() {
+        // The m = n(n-1)/2 boundary: the absent pool is empty, so insertion
+        // samplers must bail deterministically and fall through to
+        // deletions/cuts.
+        let mut rng = StdRng::seed_from_u64(32);
+        let g = generators::complete(14, 300, &mut rng);
+        for scenario in standard_suite(300) {
+            let w = scenario.generate(&g, 10, 9);
+            assert!(!w.is_empty(), "{} generated nothing on K_n", scenario.id());
+            w.validate(&g).unwrap_or_else(|e| panic!("{}: {e}", scenario.id()));
+        }
+        // The adversary's replenish steps fall back to tree cuts on K_n.
+        let w = AdversarialTreeCut { max_weight: 300 }.generate(&g, 9, 11);
+        let stats = w.validate(&g).unwrap();
+        assert!(stats.deletions >= w.len() - stats.insertions);
+        assert!(stats.deletions > 0);
+    }
+
+    #[test]
+    fn absent_pair_sampling_is_exact_near_complete() {
+        // Complete minus one pair: rejection would average n²/2 draws per
+        // hit; the dense fallback must find the unique absent pair at once.
+        let mut rng = StdRng::seed_from_u64(33);
+        let mut g = generators::complete(12, 100, &mut rng);
+        g.remove_edge(3, 7).unwrap();
+        let w = PoissonChurn { delete_fraction: 0.0, max_weight: 100 }.generate(&g, 1, 13);
+        assert_eq!(w.len(), 1);
+        match w.events[0] {
+            WorkloadEvent::InsertEdge { u, v, .. } => {
+                assert_eq!((u.min(v), u.max(v)), (3, 7), "the unique absent pair");
+            }
+            ref other => panic!("expected an insert, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partition_bursts_respect_density() {
+        // At m/n = 4 the historical quarter region (and its ~O(n) boundary)
+        // is preserved; on dense graphs the region shrinks so the burst
+        // stays O(n) boundary edges instead of Θ(m).
+        let mut rng = StdRng::seed_from_u64(34);
+        let n = 32;
+        let sparse = generators::connected_with_edges(n, 4 * n, 200, &mut rng);
+        let dense = generators::connected_dense(n, n * (n - 1) / 2, 200, &mut rng);
+        for (g, label) in [(&sparse, "sparse"), (&dense, "dense")] {
+            let w = PartitionHeal { max_weight: 200 }.generate(g, 6, 17);
+            let stats = w.validate(g).unwrap();
+            assert!(stats.bursts >= 2, "{label}");
+            assert!(stats.max_components > 1, "{label}: the partition must disconnect");
+            let largest_burst = w
+                .events
+                .iter()
+                .map(WorkloadEvent::primitive_count)
+                .max()
+                .expect("trace is non-empty");
+            assert!(
+                largest_burst <= 3 * n,
+                "{label}: burst of {largest_burst} primitives on n = {n} is not O(n)"
+            );
+        }
+        // The dense graph's quarter-region boundary would be Θ(m) ≈ n²/4
+        // edges (~8n here); the density-aware region keeps it under 3n.
     }
 
     #[test]

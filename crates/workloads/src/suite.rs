@@ -12,6 +12,55 @@ use crate::replay::{MaintenancePolicy, ReplayConfig, ReplayError, ReplayHarness}
 use crate::report::{scheduler_label, ChurnSuiteReport, ScenarioComparison};
 use crate::scenarios::standard_suite;
 
+/// A rung of the dynamic density ladder: the target edge budget expressed
+/// as a ratio `m/n`. The interesting sweep axis of the o(m) claims — sparse
+/// rungs are where rebuild baselines are cheap (`Θ(m)` with small `m`),
+/// superlinear rungs (`m/n ∈ {n/8, n/2}`) are where they pay and impromptu
+/// repair's `Õ(n)` does not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Density {
+    /// Constant ratio: `m = ratio · n` (clamped to the complete graph).
+    Ratio(usize),
+    /// Superlinear: `m = n²/8` — a quarter of the complete graph.
+    NOver8,
+    /// Superlinear: `m = n²/2`, which clamps to the complete graph `K_n`
+    /// (`n(n-1)/2` edges) — the densest rung.
+    NOver2,
+}
+
+impl Density {
+    /// The standard E13 ladder: `m/n ∈ {2, 4, 8, 16, n/8, n/2}`.
+    pub const LADDER: [Density; 6] = [
+        Density::Ratio(2),
+        Density::Ratio(4),
+        Density::Ratio(8),
+        Density::Ratio(16),
+        Density::NOver8,
+        Density::NOver2,
+    ];
+
+    /// The target live-edge count at network size `n`, clamped to
+    /// `[n - 1, n(n-1)/2]` so every rung is connectable and simple.
+    pub fn target_edges(self, n: usize) -> usize {
+        let max_edges = if n < 2 { 0 } else { n * (n - 1) / 2 };
+        let raw = match self {
+            Density::Ratio(ratio) => ratio * n,
+            Density::NOver8 => n * n / 8,
+            Density::NOver2 => n * n / 2,
+        };
+        raw.clamp(n.saturating_sub(1), max_edges.max(n.saturating_sub(1)))
+    }
+
+    /// Stable report/table label for the rung (`"2"`, …, `"n/8"`, `"n/2"`).
+    pub fn label(self) -> String {
+        match self {
+            Density::Ratio(ratio) => ratio.to_string(),
+            Density::NOver8 => "n/8".to_string(),
+            Density::NOver2 => "n/2".to_string(),
+        }
+    }
+}
+
 /// Parameters of a churn-suite run.
 #[derive(Debug, Clone, Copy)]
 pub struct SuiteParams {
@@ -73,10 +122,35 @@ impl SuiteParams {
         SuiteParams { events, verify_every, ..Self::with_n(n) }
     }
 
+    /// The density axis of the dynamic sweeps (E13): `scale_preset`-shaped
+    /// parameters at network size `n` with the edge budget set by the
+    /// [`Density`] rung instead of the default `m/n = 4`. Event budget and
+    /// checkpoint interval taper with `n` exactly as in
+    /// [`SuiteParams::scale_preset`], so a rung's cost differences come from
+    /// density alone.
+    pub fn density_preset(n: usize, density: Density) -> Self {
+        SuiteParams { m: density.target_edges(n), ..Self::scale_preset(n) }
+    }
+
     /// The deterministic base graph of the run.
+    ///
+    /// Sparse budgets use the rejection-sampling builder
+    /// ([`generators::connected_with_edges`]); budgets at or above a quarter
+    /// of the complete graph switch to the enumerating dense builder
+    /// ([`generators::connected_dense`]), whose work stays bounded all the
+    /// way to `K_n` where rejection degenerates into a coupon collector.
+    /// The switch keeps every *standard* pre-density-ladder preset on the
+    /// historical path byte-for-byte (`with_n`/`scale_preset` sit at
+    /// `m/n = 4`, below the threshold for every preset size n ≥ 48); ad-hoc
+    /// configs at n ≤ 33 with that ratio land above it and route dense.
     pub fn base_graph(&self) -> Graph {
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0xBA5E_6AF0);
-        generators::connected_with_edges(self.n, self.m, self.max_weight, &mut rng)
+        let max_edges = if self.n < 2 { 0 } else { self.n * (self.n - 1) / 2 };
+        if self.m * 4 >= max_edges.max(1) {
+            generators::connected_dense(self.n, self.m, self.max_weight, &mut rng)
+        } else {
+            generators::connected_with_edges(self.n, self.m, self.max_weight, &mut rng)
+        }
     }
 }
 
@@ -115,6 +189,7 @@ pub fn run_churn_suite(params: &SuiteParams) -> Result<ChurnSuiteReport, ReplayE
         n: base.node_count(),
         m: base.edge_count(),
         events_per_scenario: params.events,
+        m_over_n: crate::report::m_over_n(&base),
         seed: params.seed,
         tree_kind: match params.kind {
             TreeKind::Mst => "mst".to_string(),
@@ -174,6 +249,92 @@ mod tests {
         }
         assert!(p256.events >= p1024.events && p1024.events >= p4096.events);
         assert_eq!(p4096.verify_every, 0, "largest preset checkpoints the final event only");
+    }
+
+    #[test]
+    fn density_ladder_targets_and_labels() {
+        let labels: Vec<String> = Density::LADDER.iter().map(|d| d.label()).collect();
+        assert_eq!(labels, ["2", "4", "8", "16", "n/8", "n/2"]);
+        let n = 64;
+        let max_edges = n * (n - 1) / 2;
+        assert_eq!(Density::Ratio(2).target_edges(n), 2 * n);
+        assert_eq!(Density::Ratio(16).target_edges(n), 16 * n);
+        assert_eq!(Density::NOver8.target_edges(n), n * n / 8);
+        assert_eq!(Density::NOver2.target_edges(n), max_edges, "n/2 clamps to complete");
+        // Targets are monotone along the ladder once n/8 clears the constant
+        // rungs (n ≥ 128; smaller grids interleave, which is fine — the
+        // ladder is a set of rungs, not an ordered sweep).
+        let targets: Vec<usize> = Density::LADDER.iter().map(|d| d.target_edges(256)).collect();
+        assert!(targets.windows(2).all(|w| w[0] < w[1]), "{targets:?}");
+        // Tiny networks clamp sanely in both directions.
+        assert_eq!(Density::Ratio(16).target_edges(4), 6, "clamped to K_4");
+        assert_eq!(Density::Ratio(2).target_edges(2), 1);
+    }
+
+    #[test]
+    fn density_preset_wires_the_ladder_into_suite_params() {
+        for n in [64usize, 256] {
+            for &density in &Density::LADDER {
+                let p = SuiteParams::density_preset(n, density);
+                assert_eq!(p.n, n);
+                assert_eq!(p.m, density.target_edges(n), "{}", density.label());
+                // Everything but the edge budget matches the scale preset.
+                let scale = SuiteParams::scale_preset(n);
+                assert_eq!(p.events, scale.events);
+                assert_eq!(p.verify_every, scale.verify_every);
+                assert_eq!(p.seed, scale.seed);
+            }
+        }
+        // density_preset at the default rung is exactly the scale preset.
+        let p = SuiteParams::density_preset(256, Density::Ratio(4));
+        assert_eq!(p.m, SuiteParams::scale_preset(256).m);
+    }
+
+    #[test]
+    fn base_graph_hits_every_density_rung_exactly() {
+        // The dense builder takes over where rejection sampling would
+        // degenerate; every rung must land on its exact target, connected.
+        for n in [32usize, 64] {
+            for &density in &Density::LADDER {
+                let p = SuiteParams { seed: 0xD0, ..SuiteParams::density_preset(n, density) };
+                let g = p.base_graph();
+                assert_eq!(g.node_count(), n);
+                assert!(g.is_connected(), "n={n} density={}", density.label());
+                let target = density.target_edges(n);
+                // The rejection path may undershoot slightly; the dense path
+                // (superlinear rungs) is exact.
+                assert!(g.edge_count() <= target);
+                assert!(
+                    g.edge_count() * 10 >= target * 9,
+                    "n={n} density={}: got {} of {target}",
+                    density.label(),
+                    g.edge_count()
+                );
+                if matches!(density, Density::NOver8 | Density::NOver2) {
+                    assert_eq!(g.edge_count(), target, "dense builder is exact");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn suite_runs_on_a_dense_rung() {
+        // The whole battery replays and verifies on a dense base graph (the
+        // regime none of the pre-E13 suites ever exercised).
+        let params = SuiteParams {
+            events: 4,
+            verify_every: 2,
+            ..SuiteParams::density_preset(16, Density::NOver2)
+        };
+        let report = run_churn_suite(&params).unwrap();
+        assert_eq!(report.m, 16 * 15 / 2, "the n/2 rung is the complete graph");
+        assert!((report.m_over_n - 7.5).abs() < 1e-12);
+        assert_eq!(report.scenarios.len(), 5);
+        for s in &report.scenarios {
+            for r in &s.reports {
+                assert!(r.checkpoints_verified > 0, "{}/{}", s.scenario, r.policy);
+            }
+        }
     }
 
     #[test]
