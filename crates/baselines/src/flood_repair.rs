@@ -51,7 +51,7 @@ pub fn flood_repair_delete(
     for e in old_edges {
         net.unmark(e);
     }
-    let outcome = flood_spanning_tree(net, u)?;
+    let outcome = net.span(kkt_congest::Phase::RebuildSweep, |net| flood_spanning_tree(net, u))?;
     net.mark_all(&outcome.tree_edges);
     let delta = net.cost() - before;
     Ok(FloodRepairOutcome { was_tree_edge: true, messages: delta.messages })

@@ -19,7 +19,8 @@ use kkt_graphs::NodeId;
 ///
 /// Propagates simulator errors (e.g. an out-of-range root).
 pub fn build_st_by_flooding(net: &mut Network, root: NodeId) -> Result<FloodOutcome, CongestError> {
-    let outcome = flood_spanning_tree(net, root)?;
+    let outcome =
+        net.span(kkt_congest::Phase::RebuildSweep, |net| flood_spanning_tree(net, root))?;
     net.mark_all(&outcome.tree_edges);
     Ok(outcome)
 }

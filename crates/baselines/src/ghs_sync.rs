@@ -56,6 +56,10 @@ pub struct GhsOutcome {
 /// tree in the network's forest and charging `O(m + n log n)` messages to its
 /// cost tracker.
 pub fn build_mst_ghs(net: &mut Network) -> GhsOutcome {
+    net.span(kkt_congest::Phase::RebuildSweep, build_mst_ghs_inner)
+}
+
+fn build_mst_ghs_inner(net: &mut Network) -> GhsOutcome {
     let n = net.node_count();
     let word = net.word_bits() as u64;
     let mut uf = UnionFind::new(n);

@@ -17,9 +17,10 @@ use kkt_core::{
 };
 use kkt_graphs::{generators, kruskal, Graph};
 use kkt_workloads::{
-    run_churn_suite, AdversarialTreeCut, ChurnSuiteReport, Density, DensityPoint,
-    DensitySweepReport, MaintenancePolicy, MixedPhases, MultiEdgeCuts, PoissonChurn, ReplayConfig,
-    ReplayHarness, ScalePoint, ScaleSweepReport, Scenario, ScenarioComparison, SuiteParams,
+    run_churn_suite, AdversarialTreeCut, AnatomyPoint, ChurnSuiteReport, CostAnatomyReport,
+    Density, DensityPoint, DensitySweepReport, MaintenancePolicy, MixedPhases, MultiEdgeCuts,
+    PhaseAccumulator, PoissonChurn, ReplayConfig, ReplayHarness, ScalePoint, ScaleSweepReport,
+    Scenario, ScenarioComparison, SuiteParams,
 };
 
 use crate::stats::Summary;
@@ -976,6 +977,158 @@ pub fn exp13_dynamic_density(
                 r.checkpoints_verified.to_string(),
             ]);
         }
+    }
+    (table, report)
+}
+
+/// E14 — the cost anatomy: *where do the bits go?* Every `(n, density)` cell
+/// of the E13 grid is replayed under every MST policy with the
+/// phase-attributing observer installed, decomposing each policy's
+/// bits-per-event into the paper's phases (delivery, broadcast-echo, leader
+/// election, `FindMin` narrowing, `FindAny` sampling, announce, rebuild
+/// sweep). The decomposition *conserves* — phase sums are asserted equal to
+/// the untraced totals bit-for-bit, so E14's rows reconcile exactly against
+/// E13's — and makes the asymptotics legible: repair policies should be
+/// dominated by `FindMin`/`FindAny` searches with a density-independent
+/// announce tail, while the rebuild baselines concentrate in the rebuild
+/// sweep whose bits track `m`.
+///
+/// `only_n` restricts the sweep to one grid size (the `KKT_EXP14_N`
+/// environment variable in the binary) — CI runs the n = 256 column twice
+/// inside a wall-clock budget and asserts byte-identical reports.
+///
+/// Returns the printable table *and* the sealed deterministic JSON report.
+pub fn exp14_cost_anatomy(
+    scale: Scale,
+    seed: u64,
+    only_n: Option<usize>,
+) -> (Table, CostAnatomyReport) {
+    let sizes: Vec<usize> = scale
+        .density_grid_sizes()
+        .into_iter()
+        .filter(|&n| only_n.is_none_or(|only| only == n))
+        .collect();
+    // An unmatched restriction must fail loudly, not emit an empty report
+    // the CI byte-compare would green-light (same guard as exp11/exp13).
+    assert!(
+        !sizes.is_empty(),
+        "KKT_EXP14_N={:?} matches no rung of the {:?} grid {:?}",
+        only_n,
+        scale,
+        scale.density_grid_sizes()
+    );
+    let policies = MaintenancePolicy::all_for(kkt_core::TreeKind::Mst);
+    let mut points = Vec::new();
+    let mut scheduler = String::new();
+    for n in sizes {
+        for &density in &Density::LADDER {
+            let params = SuiteParams { seed, ..SuiteParams::density_preset(n, density) };
+            let base = params.base_graph();
+            let harness = ReplayHarness::new(ReplayConfig {
+                kind: params.kind,
+                scheduler: params.scheduler,
+                verify_every: params.verify_every,
+                seed,
+                paranoid: false,
+            });
+            scheduler = kkt_workloads::report::scheduler_label(params.scheduler);
+            // The same two regimes as E13, so the anatomy decomposes exactly
+            // the totals that sweep prices.
+            let scenarios: Vec<Box<dyn Scenario>> = vec![
+                Box::new(PoissonChurn { delete_fraction: 0.5, max_weight: params.max_weight }),
+                Box::new(AdversarialTreeCut { max_weight: params.max_weight }),
+            ];
+            for scenario in scenarios {
+                let workload = scenario.generate(&base, params.events, seed);
+                for &policy in &policies {
+                    let mut acc = PhaseAccumulator::new();
+                    let report = harness
+                        .replay_observed(&base, &workload, policy, &mut acc)
+                        .expect("every checkpoint verifies against the shadow oracle");
+                    let phases = acc.ledger;
+                    let total = phases.total();
+                    // The tracing layer's contract, re-checked at the report
+                    // boundary: attribution never loses (or invents) a bit.
+                    assert!(
+                        total.messages == report.total.messages
+                            && total.bits == report.total.bits
+                            && total.time == report.total.time
+                            && total.broadcast_echoes == report.total.broadcast_echoes,
+                        "phase ledger does not conserve for {} at n={n}: {total:?} vs {:?}",
+                        policy.label(),
+                        report.total,
+                    );
+                    let dominant_phase = phases
+                        .entries()
+                        .max_by_key(|&(phase, cost)| (cost.bits, std::cmp::Reverse(phase)))
+                        .map(|(phase, _)| phase.label().to_string())
+                        .expect("ledger has a fixed set of phases");
+                    points.push(AnatomyPoint {
+                        n: base.node_count(),
+                        m: base.edge_count(),
+                        density: density.label(),
+                        m_over_n: kkt_workloads::report::m_over_n(&base),
+                        scenario: workload.scenario.clone(),
+                        policy: policy.label().to_string(),
+                        events: workload.len(),
+                        checkpoints_verified: report.checkpoints_verified,
+                        workload_fingerprint: workload.fingerprint(),
+                        phases,
+                        total,
+                        dominant_phase,
+                    });
+                }
+            }
+        }
+    }
+    let mut report = CostAnatomyReport {
+        seed,
+        tree_kind: "mst".to_string(),
+        scheduler,
+        points,
+        fingerprint: String::new(),
+    };
+    report.seal();
+
+    let mut table = Table::new(
+        "E14: cost anatomy — bits per event by phase, every policy across the density grid",
+        &[
+            "n",
+            "m/n",
+            "scenario",
+            "policy",
+            "bits/event",
+            "delivery%",
+            "becho%",
+            "elect%",
+            "findmin%",
+            "findany%",
+            "announce%",
+            "rebuild%",
+            "dominant",
+        ],
+    );
+    for point in &report.points {
+        let events = point.events.max(1) as f64;
+        let total_bits = point.total.bits.max(1) as f64;
+        let share = |phase: kkt_congest::Phase| {
+            format!("{:.1}", 100.0 * point.phases.get(phase).bits as f64 / total_bits)
+        };
+        table.push_row(vec![
+            point.n.to_string(),
+            point.density.clone(),
+            point.scenario.clone(),
+            point.policy.clone(),
+            format!("{:.0}", point.total.bits as f64 / events),
+            share(kkt_congest::Phase::Delivery),
+            share(kkt_congest::Phase::BroadcastEcho),
+            share(kkt_congest::Phase::LeaderElection),
+            share(kkt_congest::Phase::FindMinNarrow),
+            share(kkt_congest::Phase::FindAnySample),
+            share(kkt_congest::Phase::Announce),
+            share(kkt_congest::Phase::RebuildSweep),
+            point.dominant_phase.clone(),
+        ]);
     }
     (table, report)
 }

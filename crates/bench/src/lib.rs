@@ -14,7 +14,7 @@ pub mod experiments;
 pub mod stats;
 pub mod table;
 
-pub use stats::Summary;
+pub use stats::{Percentiles, Summary};
 pub use table::Table;
 
 /// Sweep sizes for the experiment binaries.

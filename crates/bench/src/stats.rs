@@ -1,5 +1,7 @@
 //! Small summary statistics for experiment outputs.
 
+use kkt_congest::Histogram;
+
 /// Mean / standard deviation / min / max of a sample.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
@@ -44,6 +46,56 @@ impl Summary {
     }
 }
 
+/// Quantile readout of an integer sample or a metrics histogram: the tail
+/// view (`p50 / p99 / max`) the registry's fixed-bucket histograms support
+/// exactly, without retaining the sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Percentiles {
+    /// Sample size.
+    pub count: u64,
+    /// Median upper bound (exact for raw samples, bucket bound for
+    /// histograms).
+    pub p50: u64,
+    /// 99th-percentile upper bound.
+    pub p99: u64,
+    /// Exact maximum.
+    pub max: u64,
+}
+
+impl Percentiles {
+    /// Exact percentiles of a raw integer sample (nearest-rank). Zeros for an
+    /// empty sample.
+    pub fn of_u64(values: &[u64]) -> Self {
+        if values.is_empty() {
+            return Percentiles { count: 0, p50: 0, p99: 0, max: 0 };
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        let rank = |q: f64| {
+            let k = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[k - 1]
+        };
+        Percentiles {
+            count: sorted.len() as u64,
+            p50: rank(0.50),
+            p99: rank(0.99),
+            max: *sorted.last().expect("non-empty"),
+        }
+    }
+
+    /// Bucketed percentiles of a metrics-registry histogram (upper bucket
+    /// bounds, exact max).
+    pub fn of_histogram(h: &Histogram) -> Self {
+        Percentiles { count: h.count(), p50: h.p50(), p99: h.p99(), max: h.max() }
+    }
+}
+
+impl std::fmt::Display for Percentiles {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n={} p50<={} p99<={} max={}", self.count, self.p50, self.p99, self.max)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -56,6 +108,24 @@ mod tests {
         assert_eq!(s.min, 2.0);
         assert_eq!(s.max, 9.0);
         assert_eq!(s.count, 8);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank_and_histogram_agree_on_max() {
+        let sample: Vec<u64> = (1..=100).collect();
+        let p = Percentiles::of_u64(&sample);
+        assert_eq!((p.count, p.p50, p.p99, p.max), (100, 50, 99, 100));
+        assert_eq!(Percentiles::of_u64(&[]), Percentiles { count: 0, p50: 0, p99: 0, max: 0 });
+
+        let mut h = Histogram::with_bounds(&Histogram::pow2_bounds(8));
+        for &v in &sample {
+            h.record(v);
+        }
+        let hp = Percentiles::of_histogram(&h);
+        assert_eq!(hp.count, 100);
+        assert_eq!(hp.max, 100, "histogram max is exact");
+        assert!(hp.p50 >= 50, "bucketed quantiles are upper bounds");
+        assert_eq!(format!("{p}"), "n=100 p50<=50 p99<=99 max=100");
     }
 
     #[test]

@@ -5,7 +5,13 @@
 //! wall-clock durations. A [`CostTracker`] accumulates over the lifetime of a
 //! [`crate::Network`]; [`CostReport`] is a snapshot used for deltas
 //! ("how much did this FindMin cost?").
+//!
+//! Alongside the totals the tracker keeps a per-phase [`PhaseLedger`]: every
+//! `record_*` call charges the totals *and* exactly one [`Phase`] slot (the
+//! one set by the innermost enclosing [`crate::Network::span`]), so the
+//! ledger's sums equal the totals bit-for-bit, always, with nothing opted in.
 
+use kkt_obs::{Phase, PhaseLedger};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::Sub;
@@ -25,6 +31,11 @@ pub struct CostTracker {
     pub broadcast_echoes: u64,
     /// Largest single message observed, in bits.
     pub max_message_bits: u64,
+    /// Per-phase decomposition of the counters above (`max_message_bits`
+    /// excepted — a maximum has no per-phase sum).
+    ledger: PhaseLedger,
+    /// The phase currently charged; [`Phase::Delivery`] outside any span.
+    phase: Phase,
 }
 
 impl CostTracker {
@@ -38,16 +49,51 @@ impl CostTracker {
         self.messages += 1;
         self.bits += bits;
         self.max_message_bits = self.max_message_bits.max(bits);
+        self.ledger.charge_message(self.phase, bits);
     }
 
-    /// Records elapsed time (takes the max: engines report makespans).
+    /// Records one message of the given size under an explicit phase,
+    /// regardless of the current span — for single explicitly modelled
+    /// messages (Add-Edge notifications, decision forwards) where a span
+    /// closure would be noise.
+    pub fn record_message_in(&mut self, phase: Phase, bits: u64) {
+        self.messages += 1;
+        self.bits += bits;
+        self.max_message_bits = self.max_message_bits.max(bits);
+        self.ledger.charge_message(phase, bits);
+    }
+
+    /// Records elapsed time. Accumulates (`time += elapsed`): each engine run
+    /// reports its own makespan once, and a network's total time is the sum
+    /// over the sequentially composed runs — concurrency *within* a run is
+    /// already folded into that run's makespan, so summing across runs never
+    /// double-counts.
     pub fn record_time(&mut self, elapsed: u64) {
         self.time += elapsed;
+        self.ledger.charge_time(self.phase, elapsed);
     }
 
     /// Records one broadcast-and-echo invocation.
     pub fn record_broadcast_echo(&mut self) {
         self.broadcast_echoes += 1;
+        self.ledger.charge_broadcast_echo(self.phase);
+    }
+
+    /// Switches the charged phase, returning the previous one so callers can
+    /// restore it (the stack discipline [`crate::Network::span`] implements).
+    pub fn enter_phase(&mut self, phase: Phase) -> Phase {
+        std::mem::replace(&mut self.phase, phase)
+    }
+
+    /// The phase currently charged.
+    pub fn current_phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// The per-phase ledger. Its [`PhaseLedger::total`] equals this tracker's
+    /// totals on `messages`, `bits`, `time` and `broadcast_echoes` — always.
+    pub fn ledger(&self) -> PhaseLedger {
+        self.ledger
     }
 
     /// Snapshot of the current totals.
@@ -101,6 +147,67 @@ impl fmt::Display for CostReport {
     }
 }
 
+impl CostReport {
+    /// Pairs this snapshot with a phase ledger for human-readable display:
+    /// one row per phase that charged anything, plus a totals row. The
+    /// `KKT_TRACE=1` output of the examples.
+    pub fn phase_table(self, ledger: &PhaseLedger) -> PhaseTable {
+        PhaseTable { ledger: *ledger, total: self }
+    }
+}
+
+/// A [`CostReport`] with its per-phase breakdown, rendered as an aligned
+/// text table by `Display`.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseTable {
+    /// The per-phase shares.
+    pub ledger: PhaseLedger,
+    /// The totals the shares sum to.
+    pub total: CostReport,
+}
+
+impl fmt::Display for PhaseTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<16} {:>10} {:>14} {:>10} {:>8}",
+            "phase", "msgs", "bits", "time", "b-echo"
+        )?;
+        for (phase, cost) in self.ledger.entries() {
+            if cost == Default::default() {
+                continue;
+            }
+            writeln!(
+                f,
+                "{:<16} {:>10} {:>14} {:>10} {:>8}",
+                phase.label(),
+                cost.messages,
+                cost.bits,
+                cost.time,
+                cost.broadcast_echoes
+            )?;
+        }
+        writeln!(
+            f,
+            "{:<16} {:>10} {:>14} {:>10} {:>8}",
+            "total",
+            self.total.messages,
+            self.total.bits,
+            self.total.time,
+            self.total.broadcast_echoes
+        )?;
+        let sums = self.ledger.total();
+        if sums.messages != self.total.messages
+            || sums.bits != self.total.bits
+            || sums.time != self.total.time
+            || sums.broadcast_echoes != self.total.broadcast_echoes
+        {
+            writeln!(f, "(!) phase ledger does not conserve: phase sums {sums:?}")?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,5 +253,64 @@ mod tests {
         let r = CostReport::default();
         assert_eq!(r.messages, 0);
         assert_eq!(r.bits, 0);
+    }
+
+    #[test]
+    fn record_time_accumulates_across_runs() {
+        // Pins the accumulate semantics the doc comment describes: each
+        // engine run contributes its own makespan once and the total is the
+        // sum over sequentially composed runs — NOT a max over them.
+        let mut c = CostTracker::new();
+        c.record_time(5);
+        c.record_time(3);
+        c.record_time(5);
+        assert_eq!(c.time, 13, "three runs of makespans 5, 3, 5 total 13");
+        assert_ne!(c.time, 5, "a max would have stalled at the largest makespan");
+    }
+
+    #[test]
+    fn every_record_lands_in_the_current_phase() {
+        let mut c = CostTracker::new();
+        assert_eq!(c.current_phase(), Phase::Delivery);
+        c.record_message(4);
+        let prev = c.enter_phase(Phase::FindMinNarrow);
+        assert_eq!(prev, Phase::Delivery);
+        c.record_message(10);
+        c.record_broadcast_echo();
+        c.record_time(2);
+        c.enter_phase(prev);
+        c.record_message_in(Phase::Announce, 6);
+        let ledger = c.ledger();
+        assert_eq!(ledger.get(Phase::Delivery).messages, 1);
+        assert_eq!(ledger.get(Phase::Delivery).bits, 4);
+        assert_eq!(ledger.get(Phase::FindMinNarrow).messages, 1);
+        assert_eq!(ledger.get(Phase::FindMinNarrow).bits, 10);
+        assert_eq!(ledger.get(Phase::FindMinNarrow).broadcast_echoes, 1);
+        assert_eq!(ledger.get(Phase::FindMinNarrow).time, 2);
+        assert_eq!(ledger.get(Phase::Announce).bits, 6);
+        // Conservation: the ledger sums to the totals exactly.
+        let sums = ledger.total();
+        assert_eq!(sums.messages, c.messages);
+        assert_eq!(sums.bits, c.bits);
+        assert_eq!(sums.time, c.time);
+        assert_eq!(sums.broadcast_echoes, c.broadcast_echoes);
+    }
+
+    #[test]
+    fn phase_table_renders_shares_and_totals() {
+        let mut c = CostTracker::new();
+        c.enter_phase(Phase::Announce);
+        c.record_message(7);
+        c.enter_phase(Phase::Delivery);
+        c.record_message(3);
+        let table = c.report().phase_table(&c.ledger()).to_string();
+        assert!(table.contains("announce"), "{table}");
+        assert!(table.contains("delivery"), "{table}");
+        assert!(table.contains("total"), "{table}");
+        assert!(!table.contains("rebuild_sweep"), "all-zero phases are suppressed: {table}");
+        assert!(!table.contains("(!)"), "a conserving ledger never warns: {table}");
+        // A mismatched pairing is called out rather than silently rendered.
+        let broken = CostReport { messages: 99, ..c.report() }.phase_table(&c.ledger()).to_string();
+        assert!(broken.contains("(!)"), "{broken}");
     }
 }

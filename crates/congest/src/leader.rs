@@ -119,7 +119,9 @@ impl LeaderElection {
 /// Runs the saturation election over every fragment simultaneously.
 pub fn elect_leaders(net: &mut Network) -> Result<LeaderElection, CongestError> {
     let n = net.node_count();
-    let (programs, stats) = Engine::run_all(net, |_| Saturation::default())?;
+    let (programs, stats) = net.span(kkt_obs::Phase::LeaderElection, |net| {
+        Engine::run_all(net, |_| Saturation::default())
+    })?;
     let mut is_leader = vec![false; n];
     let mut unheard = vec![Vec::new(); n];
     for x in 0..n {

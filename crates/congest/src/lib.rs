@@ -18,6 +18,11 @@
 //! * **Exact accounting.** [`cost::CostTracker`] records messages, bits,
 //!   completion time and broadcast-and-echo invocations; the experiment suite
 //!   reads these counters, never wall-clock time.
+//! * **Phase attribution.** Every recorded cost also lands in a per-phase
+//!   [`PhaseLedger`] slot named by the innermost enclosing [`Network::span`]
+//!   (default: [`Phase::Delivery`]), so phase sums equal the totals
+//!   bit-for-bit by construction. Attribution never changes a counter value,
+//!   an RNG draw, or a report byte — it only says *where* the bits went.
 //!
 //! On top of the raw engine the crate provides the three communication
 //! patterns the paper composes everything from: generic
@@ -52,9 +57,10 @@ pub mod leader;
 pub mod message;
 pub mod model;
 
-pub use cost::{CostReport, CostTracker};
+pub use cost::{CostReport, CostTracker, PhaseTable};
 pub use engine::{Engine, Protocol, RunStats, Scheduler};
 pub use error::CongestError;
 pub use forest::MarkedForest;
+pub use kkt_obs::{Histogram, MetricsRegistry, Phase, PhaseCost, PhaseLedger, PhaseProfile};
 pub use message::{bits_for_value, BitSized};
 pub use model::{IncidentEdge, Network, NetworkConfig, NodeView};

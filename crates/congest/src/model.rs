@@ -30,6 +30,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use kkt_graphs::{EdgeId, EdgeNumber, Graph, NodeId, UniqueWeight, Weight};
+use kkt_obs::{MetricsRegistry, Phase, PhaseLedger, PhaseProfile};
 
 use crate::cost::{CostReport, CostTracker};
 use crate::engine::Scheduler;
@@ -235,6 +236,10 @@ pub struct Network {
     rng: StdRng,
     id_bits: u32,
     views: ViewCache,
+    /// Opt-in metrics registry (None ⇒ zero overhead, nothing recorded).
+    metrics: Option<Box<MetricsRegistry>>,
+    /// Opt-in wall-clock profile per phase (None ⇒ spans never read a clock).
+    profile: Option<Box<PhaseProfile>>,
 }
 
 impl Network {
@@ -252,6 +257,8 @@ impl Network {
             rng,
             id_bits,
             views,
+            metrics: None,
+            profile: None,
         }
     }
 
@@ -281,6 +288,63 @@ impl Network {
     /// that charge explicitly modelled messages).
     pub fn cost_mut(&mut self) -> &mut CostTracker {
         &mut self.cost
+    }
+
+    /// Runs `f` with every recorded cost attributed to `phase`, restoring the
+    /// previous phase afterwards (spans nest; the innermost wins). Pure
+    /// attribution: counter values, RNG draws and behaviour are unchanged,
+    /// only the per-phase ledger slot the costs land in.
+    pub fn span<T>(&mut self, phase: Phase, f: impl FnOnce(&mut Self) -> T) -> T {
+        let prev = self.cost.enter_phase(phase);
+        let started = self.profile.as_ref().map(|_| std::time::Instant::now());
+        let out = f(self);
+        if let (Some(profile), Some(t0)) = (self.profile.as_mut(), started) {
+            profile.add(phase, t0.elapsed().as_secs_f64());
+        }
+        self.cost.enter_phase(prev);
+        out
+    }
+
+    /// The per-phase cost ledger. Conserves against [`Network::cost`]:
+    /// `phase_ledger().total()` equals the report's `messages`, `bits`,
+    /// `time` and `broadcast_echoes` exactly, at every instant.
+    pub fn phase_ledger(&self) -> PhaseLedger {
+        self.cost.ledger()
+    }
+
+    /// Installs (or replaces with) an empty metrics registry; algorithm code
+    /// records narrowing iterations, Borůvka rounds, etc. only while one is
+    /// installed.
+    pub fn enable_metrics(&mut self) {
+        self.metrics = Some(Box::new(MetricsRegistry::new()));
+    }
+
+    /// The installed metrics registry, if any.
+    pub fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.metrics.as_deref()
+    }
+
+    /// Mutable access for recording sites; `None` (the default) means record
+    /// nothing — the zero-cost path is a single branch.
+    pub fn metrics_mut(&mut self) -> Option<&mut MetricsRegistry> {
+        self.metrics.as_deref_mut()
+    }
+
+    /// Removes and returns the metrics registry.
+    pub fn take_metrics(&mut self) -> Option<MetricsRegistry> {
+        self.metrics.take().map(|b| *b)
+    }
+
+    /// Enables wall-clock profiling of spans (seconds per phase). Reported
+    /// separately from the deterministic cost columns and never fingerprinted
+    /// — wall-clock is machine noise, bits are the anchor.
+    pub fn enable_profile(&mut self) {
+        self.profile = Some(Box::new(PhaseProfile::new()));
+    }
+
+    /// The wall-clock profile, if enabled.
+    pub fn profile(&self) -> Option<&PhaseProfile> {
+        self.profile.as_deref()
     }
 
     /// The simulation configuration.

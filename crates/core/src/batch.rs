@@ -48,7 +48,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use kkt_congest::broadcast_echo::{run_broadcast_echoes, TreeAggregate, TreeStats};
-use kkt_congest::{BitSized, Network, NodeView};
+use kkt_congest::{BitSized, Histogram, Network, NodeView, Phase};
 use kkt_graphs::generators::Update;
 use kkt_graphs::{EdgeNumber, NodeId};
 use kkt_hashing::PairwiseHash;
@@ -882,10 +882,12 @@ fn flush<R: Rng>(
         // not from free driver-side knowledge) and doubles as `FindMin`'s
         // step-2 statistics (maxWt, degree sum) for the fragments that then
         // search.
-        let census = run_broadcast_echoes(
-            net,
-            election.iter().map(|&r| (groups.root_node[r], TreeStats)).collect(),
-        )?;
+        let census = net.span(Phase::BroadcastEcho, |net| {
+            run_broadcast_echoes(
+                net,
+                election.iter().map(|&r| (groups.root_node[r], TreeStats)).collect(),
+            )
+        })?;
         let stat_of = |r: usize| census[election.iter().position(|&e| e == r).expect("candidate")];
 
         // Searchers: every candidate except the largest of its cluster — the
@@ -945,10 +947,16 @@ fn flush<R: Rng>(
             if wave.is_empty() {
                 break;
             }
-            let replies = run_broadcast_echoes(
-                net,
-                wave.iter().map(|(_, root, agg)| (*root, *agg)).collect(),
-            )?;
+            // Probe waves are the batched analogue of the sequential
+            // searches, so they attribute to the same phase the sequential
+            // path uses.
+            let probe_phase = match kind {
+                TreeKind::Mst => Phase::FindMinNarrow,
+                TreeKind::St => Phase::FindAnySample,
+            };
+            let replies = net.span(probe_phase, |net| {
+                run_broadcast_echoes(net, wave.iter().map(|(_, root, agg)| (*root, *agg)).collect())
+            })?;
             for ((pos, _, _), reply) in wave.into_iter().zip(replies) {
                 searches[pos].1.absorb(reply);
             }
@@ -976,7 +984,10 @@ fn flush<R: Rng>(
                     // new edge (one message), as in the sequential repair;
                     // the tree-wide announce is amortized to one per mended
                     // fragment below.
-                    net.cost_mut().record_message(found.edge_number.as_u128().bit_size() as u64);
+                    net.cost_mut().record_message_in(
+                        Phase::Announce,
+                        found.edge_number.as_u128().bit_size() as u64,
+                    );
                     net.mark(found.edge);
                     let merged = groups.union(gx, gy);
                     groups.merges[merged] += 1;
@@ -1004,6 +1015,10 @@ fn flush<R: Rng>(
     for &rep in &announced {
         announce(net, groups.root_node[rep], groups.digest[rep])?;
         stats.announces += 1;
+    }
+    if let Some(metrics) = net.metrics_mut() {
+        let bounds = Histogram::pow2_bounds(10);
+        metrics.observe("boruvka_rounds_per_batch", &bounds, u64::from(stats.rounds));
     }
 
     // -- Patch the deferred outcomes ----------------------------------------

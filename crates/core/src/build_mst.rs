@@ -15,7 +15,7 @@
 //! counter accumulates the per-fragment makespans; the message counter — the
 //! quantity Theorem 1.1 is about — is unaffected by that scheduling choice.
 
-use kkt_congest::{leader::elect_leaders, BitSized, Network};
+use kkt_congest::{leader::elect_leaders, BitSized, Network, Phase};
 use rand::Rng;
 
 use crate::config::KktConfig;
@@ -87,7 +87,7 @@ pub fn build_mst<R: Rng + ?Sized>(
         let mut edges_added = 0;
         for found in chosen {
             let bits = (found.edge_number.as_u128().bit_size()).max(1) as u64;
-            net.cost_mut().record_message(bits);
+            net.cost_mut().record_message_in(Phase::Announce, bits);
             if !net.forest().is_marked(found.edge) {
                 net.mark(found.edge);
                 edges_added += 1;

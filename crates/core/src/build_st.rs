@@ -13,7 +13,7 @@
 
 use std::collections::HashMap;
 
-use kkt_congest::{leader::elect_leaders, BitSized, Network};
+use kkt_congest::{leader::elect_leaders, BitSized, Network, Phase};
 use kkt_graphs::EdgeId;
 use rand::Rng;
 
@@ -52,7 +52,10 @@ pub fn build_st<R: Rng + ?Sized>(
         for &leader in &leaders {
             if let Some(found) = find_any_c(net, leader, config, rng)? {
                 // Add-Edge notification across the chosen edge.
-                net.cost_mut().record_message(found.edge_number.as_u128().bit_size() as u64);
+                net.cost_mut().record_message_in(
+                    Phase::Announce,
+                    found.edge_number.as_u128().bit_size() as u64,
+                );
                 if !net.forest().is_marked(found.edge) {
                     net.mark(found.edge);
                     new_edges.push(found.edge);
@@ -105,7 +108,7 @@ fn break_cycles<R: Rng + ?Sized>(
                 let pick = neighbors[rng.gen_range(0..neighbors.len())];
                 let key = (x.min(pick), x.max(pick));
                 *nominations.entry(key).or_insert(0) += 1;
-                net.cost_mut().record_message(1);
+                net.cost_mut().record_message_in(Phase::LeaderElection, 1);
             }
             for ((u, v), count) in nominations {
                 if count >= 2 {

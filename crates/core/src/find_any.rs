@@ -23,7 +23,7 @@
 //! worst-case cost matches `FindAny`'s expected cost (Lemma 5).
 
 use kkt_congest::broadcast_echo::{run_broadcast_echo, TreeAggregate};
-use kkt_congest::{BitSized, Network, NodeView};
+use kkt_congest::{BitSized, Network, NodeView, Phase};
 use kkt_graphs::{EdgeNumber, NodeId};
 use kkt_hashing::PairwiseHash;
 use rand::Rng;
@@ -280,7 +280,9 @@ fn attempt<R: Rng + ?Sized>(
     }
 }
 
-/// Shared implementation of `FindAny` / `FindAny-C`.
+/// Shared implementation of `FindAny` / `FindAny-C`. The emptiness check and
+/// every isolation attempt bill to [`Phase::FindAnySample`] (attribution
+/// only; costs and coin flips are unchanged).
 fn find_any_impl<R: Rng + ?Sized>(
     net: &mut Network,
     root: NodeId,
@@ -288,21 +290,23 @@ fn find_any_impl<R: Rng + ?Sized>(
     attempts: u32,
     rng: &mut R,
 ) -> Result<Option<FoundEdge>, CoreError> {
-    // Step 2: w.h.p. emptiness check; "∅" answers are then always correct.
-    if !hp_test_out(net, root, interval, rng)? {
-        return Ok(None);
-    }
-    // The pairwise hash range must exceed the sum of tree degrees; that sum is
-    // below n², which every node knows (KT1), so no extra broadcast-and-echo
-    // is needed to size the hash.
-    let n = net.node_count() as u64;
-    let degree_bound = n.saturating_mul(n.saturating_sub(1)).max(2);
-    for _ in 0..attempts.max(1) {
-        if let Some(found) = attempt(net, root, interval, degree_bound, rng)? {
-            return Ok(Some(found));
+    net.span(Phase::FindAnySample, |net| {
+        // Step 2: w.h.p. emptiness check; "∅" answers are then always correct.
+        if !hp_test_out(net, root, interval, rng)? {
+            return Ok(None);
         }
-    }
-    Ok(None)
+        // The pairwise hash range must exceed the sum of tree degrees; that
+        // sum is below n², which every node knows (KT1), so no extra
+        // broadcast-and-echo is needed to size the hash.
+        let n = net.node_count() as u64;
+        let degree_bound = n.saturating_mul(n.saturating_sub(1)).max(2);
+        for _ in 0..attempts.max(1) {
+            if let Some(found) = attempt(net, root, interval, degree_bound, rng)? {
+                return Ok(Some(found));
+            }
+        }
+        Ok(None)
+    })
 }
 
 /// `FindAny(x)`: returns an edge leaving the marked tree containing `root`

@@ -17,7 +17,7 @@
 //! expected cost at the price of a constant failure probability (Lemma 2).
 
 use kkt_congest::broadcast_echo::{run_broadcast_echo, TreeStats};
-use kkt_congest::Network;
+use kkt_congest::{Histogram, Network, Phase};
 use kkt_graphs::NodeId;
 use rand::Rng;
 
@@ -63,6 +63,25 @@ pub struct FindMinTrace {
 }
 
 fn find_min_impl<R: Rng + ?Sized>(
+    net: &mut Network,
+    root: NodeId,
+    budget: u32,
+    config: &KktConfig,
+    rng: &mut R,
+) -> Result<(FindMinOutcome, FindMinTrace), CoreError> {
+    // The whole narrowing search — statistics wave, TestOut iterations,
+    // identification — bills to one phase; attribution only, costs unchanged.
+    net.span(Phase::FindMinNarrow, |net| {
+        let out = find_min_inner(net, root, budget, config, rng)?;
+        if let Some(metrics) = net.metrics_mut() {
+            let bounds = Histogram::pow2_bounds(10);
+            metrics.observe("findmin_narrowing_iterations", &bounds, u64::from(out.1.iterations));
+        }
+        Ok(out)
+    })
+}
+
+fn find_min_inner<R: Rng + ?Sized>(
     net: &mut Network,
     root: NodeId,
     budget: u32,

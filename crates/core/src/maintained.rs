@@ -208,6 +208,23 @@ impl MaintainedForest {
         &self.net
     }
 
+    /// Per-phase attribution of the cost so far; sums to [`Self::cost`]
+    /// bit-for-bit.
+    pub fn phase_ledger(&self) -> kkt_congest::PhaseLedger {
+        self.net.phase_ledger()
+    }
+
+    /// Turns on the metrics registry of the underlying network (off by
+    /// default; counters are deterministic, never wall-clock).
+    pub fn enable_metrics(&mut self) {
+        self.net.enable_metrics();
+    }
+
+    /// The metrics registry, if [`Self::enable_metrics`] was called.
+    pub fn metrics(&self) -> Option<&kkt_congest::MetricsRegistry> {
+        self.net.metrics()
+    }
+
     /// Deletes edge `{u, v}` and repairs the forest if needed (Theorem 1.2).
     pub fn delete_edge(&mut self, u: NodeId, v: NodeId) -> Result<DeleteOutcome, CoreError> {
         match self.kind {

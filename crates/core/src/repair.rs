@@ -20,7 +20,7 @@
 //! sequences of broadcast-and-echoes, which self-synchronise.
 
 use kkt_congest::broadcast_echo::{run_broadcast_echo, TreeAggregate};
-use kkt_congest::{BitSized, Network, NodeView};
+use kkt_congest::{BitSized, Network, NodeView, Phase};
 use kkt_graphs::{EdgeId, NodeId, Weight};
 use rand::Rng;
 
@@ -213,7 +213,7 @@ fn initiator(net: &Network, u: NodeId, v: NodeId) -> NodeId {
 /// true cost of `2(|T| − 1)` messages. The fragment-level entry point the
 /// single-cut repairs below and the batched pipeline (`crate::batch`) share.
 pub(crate) fn announce(net: &mut Network, root: NodeId, payload: u128) -> Result<(), CoreError> {
-    run_broadcast_echo(net, root, Announce { payload })?;
+    net.span(Phase::Announce, |net| run_broadcast_echo(net, root, Announce { payload }))?;
     Ok(())
 }
 
@@ -275,7 +275,8 @@ fn repair_cut_mst<R: Rng + ?Sized>(
             // Announce the replacement through the initiator's tree and
             // forward it across the new edge (one extra message), then mark.
             announce(net, root, found.edge_number.as_u128())?;
-            net.cost_mut().record_message(found.edge_number.as_u128().bit_size() as u64);
+            net.cost_mut()
+                .record_message_in(Phase::Announce, found.edge_number.as_u128().bit_size() as u64);
             net.mark(found.edge);
             Ok(DeleteOutcome::Replaced(found))
         }
@@ -298,10 +299,10 @@ pub fn insert_edge_mst(
     let other = if root == u { v } else { u };
     let target_id = net.graph().id_of(other);
     let query = PathQuery { down: PathQueryDown { target_id } };
-    match run_broadcast_echo(net, root, query)? {
+    match net.span(Phase::BroadcastEcho, |net| run_broadcast_echo(net, root, query))? {
         // Other endpoint is in a different tree: the new edge joins the forest.
         None => {
-            net.cost_mut().record_message(1);
+            net.cost_mut().record_message_in(Phase::Announce, 1);
             net.mark(new_edge);
             Ok(InsertOutcome::MergedFragments)
         }
@@ -352,9 +353,9 @@ pub fn decrease_weight_mst(
     let target_id = net.graph().id_of(other);
     let query = PathQuery { down: PathQueryDown { target_id } };
     let _ = config;
-    match run_broadcast_echo(net, root, query)? {
+    match net.span(Phase::BroadcastEcho, |net| run_broadcast_echo(net, root, query))? {
         None => {
-            net.cost_mut().record_message(1);
+            net.cost_mut().record_message_in(Phase::Announce, 1);
             net.mark(edge);
             Ok(InsertOutcome::MergedFragments)
         }
@@ -405,7 +406,8 @@ pub fn delete_edge_st<R: Rng + ?Sized>(
         None => Ok(DeleteOutcome::Bridge),
         Some(found) => {
             announce(net, root, found.edge_number.as_u128())?;
-            net.cost_mut().record_message(found.edge_number.as_u128().bit_size() as u64);
+            net.cost_mut()
+                .record_message_in(Phase::Announce, found.edge_number.as_u128().bit_size() as u64);
             net.mark(found.edge);
             Ok(DeleteOutcome::Replaced(found))
         }
@@ -428,9 +430,9 @@ pub fn insert_edge_st(
     let other = if root == u { v } else { u };
     let target_id = net.graph().id_of(other);
     let query = PathQuery { down: PathQueryDown { target_id } };
-    match run_broadcast_echo(net, root, query)? {
+    match net.span(Phase::BroadcastEcho, |net| run_broadcast_echo(net, root, query))? {
         None => {
-            net.cost_mut().record_message(1);
+            net.cost_mut().record_message_in(Phase::Announce, 1);
             net.mark(new_edge);
             Ok(InsertOutcome::MergedFragments)
         }

@@ -1,0 +1,294 @@
+//! Named counters and fixed-bucket histograms with deterministic readouts.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A fixed-bucket histogram over `u64` samples. Bucket `i` counts samples
+/// `<= bounds[i]` (and above the previous bound); one implicit overflow
+/// bucket catches everything larger. Bounds are fixed at construction so two
+/// runs recording the same samples produce identical state — quantile
+/// readouts are bucket upper bounds, deterministic and seed-stable.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Ascending inclusive upper bounds of the finite buckets.
+    bounds: Vec<u64>,
+    /// Per-bucket sample counts; `counts.len() == bounds.len() + 1` (the
+    /// last slot is the overflow bucket).
+    counts: Vec<u64>,
+    /// Total samples recorded.
+    count: u64,
+    /// Sum of all samples.
+    sum: u64,
+    /// Largest sample recorded (exact, not bucketed).
+    max: u64,
+}
+
+impl Histogram {
+    /// A histogram with the given finite bucket bounds (must be ascending).
+    pub fn with_bounds(bounds: &[u64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Powers-of-two bounds `1, 2, 4, …, 2^max_exp` — the default ladder for
+    /// cost-shaped quantities that span decades.
+    pub fn pow2_bounds(max_exp: u32) -> Vec<u64> {
+        (0..=max_exp.min(63)).map(|e| 1u64 << e).collect()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let slot = self.bounds.partition_point(|&b| b < value);
+        self.counts[slot] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample recorded.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile as a bucket upper bound: the smallest bound whose
+    /// cumulative count covers a `q` fraction of the samples. Samples landing
+    /// in the overflow bucket report the exact maximum. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i < self.bounds.len() { self.bounds[i] } else { self.max };
+            }
+        }
+        self.max
+    }
+
+    /// Median readout (bucket-resolution).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// Tail readout (bucket-resolution).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1} p50<={} p99<={} max={}",
+            self.count,
+            self.mean(),
+            self.p50(),
+            self.p99(),
+            self.max
+        )
+    }
+}
+
+/// A registry of named counters and histograms. Backed by `BTreeMap` so
+/// iteration (and any serialised readout) is deterministic regardless of
+/// registration order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+// The serde shim has no BTreeMap impls; maps serialise as ordered objects.
+impl Serialize for MetricsRegistry {
+    fn to_value(&self) -> serde::Value {
+        let object = |pairs: Vec<(String, serde::Value)>| serde::Value::Object(pairs);
+        serde::Value::Object(vec![
+            (
+                "counters".to_string(),
+                object(self.counters.iter().map(|(k, v)| (k.clone(), v.to_value())).collect()),
+            ),
+            (
+                "histograms".to_string(),
+                object(self.histograms.iter().map(|(k, v)| (k.clone(), v.to_value())).collect()),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for MetricsRegistry {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let entries = |name: &str| -> Result<Vec<(String, serde::Value)>, serde::DeError> {
+            match value.get(name) {
+                Some(serde::Value::Object(pairs)) => Ok(pairs.clone()),
+                _ => Err(serde::DeError::new(format!("MetricsRegistry missing `{name}` object"))),
+            }
+        };
+        let mut registry = MetricsRegistry::new();
+        for (name, v) in entries("counters")? {
+            registry.counters.insert(name, u64::from_value(&v)?);
+        }
+        for (name, v) in entries("histograms")? {
+            registry.histograms.insert(name, Histogram::from_value(&v)?);
+        }
+        Ok(registry)
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `by` to the named counter (created at 0 on first use).
+    pub fn add(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Increments the named counter by one.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// The named counter's value (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records a sample into the named histogram, creating it with `bounds`
+    /// on first use (later calls keep the original bounds).
+    pub fn observe(&mut self, name: &str, bounds: &[u64], value: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::with_bounds(bounds))
+            .record(value);
+    }
+
+    /// The named histogram, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Every counter, name-ascending.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Every histogram, name-ascending.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::with_bounds(&[1, 2, 4, 8, 16]);
+        for v in [1u64, 1, 2, 3, 4, 5, 9, 40] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum(), 65);
+        assert_eq!(h.max(), 40);
+        // Ranks: 1,1 → ≤1; 2 → ≤2; 3,4 → ≤4; 5 → ≤8; 9 → ≤16; 40 → overflow.
+        assert_eq!(h.p50(), 4, "4th of 8 samples sits in the ≤4 bucket");
+        assert_eq!(h.p99(), 40, "tail lands in the overflow bucket → exact max");
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(1.0), 40);
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = Histogram::with_bounds(&[1, 10]);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn pow2_bounds_ladder() {
+        assert_eq!(Histogram::pow2_bounds(4), vec![1, 2, 4, 8, 16]);
+        assert_eq!(Histogram::pow2_bounds(0), vec![1]);
+        assert_eq!(Histogram::pow2_bounds(100).len(), 64, "capped at 2^63");
+    }
+
+    #[test]
+    fn registry_counters_and_histograms() {
+        let mut m = MetricsRegistry::new();
+        assert!(m.is_empty());
+        m.inc("events");
+        m.add("events", 2);
+        m.observe("bits_per_event", &[10, 100, 1000], 42);
+        m.observe("bits_per_event", &[10, 100, 1000], 7);
+        assert_eq!(m.counter("events"), 3);
+        assert_eq!(m.counter("missing"), 0);
+        let h = m.histogram("bits_per_event").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 42);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn registry_iteration_is_name_ordered() {
+        let mut m = MetricsRegistry::new();
+        m.inc("zeta");
+        m.inc("alpha");
+        m.observe("outer", &[1], 1);
+        m.observe("inner", &[1], 1);
+        let counter_names: Vec<&str> = m.counters().map(|(k, _)| k).collect();
+        assert_eq!(counter_names, ["alpha", "zeta"]);
+        let histogram_names: Vec<&str> = m.histograms().map(|(k, _)| k).collect();
+        assert_eq!(histogram_names, ["inner", "outer"]);
+    }
+
+    #[test]
+    fn identical_sample_streams_give_identical_state() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        for v in [3u64, 17, 200, 5] {
+            a.observe("x", &[4, 64, 1024], v);
+            b.observe("x", &[4, 64, 1024], v);
+        }
+        assert_eq!(a, b);
+        assert_eq!(serde_json::to_string(&a).unwrap(), serde_json::to_string(&b).unwrap());
+    }
+}

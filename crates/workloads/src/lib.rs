@@ -75,10 +75,11 @@ pub mod workload;
 
 pub use event::WorkloadEvent;
 pub use fingerprint::{fingerprint_hex, fnv1a64};
+pub use kkt_obs::{JsonlObserver, MetricsObserver, Observer, PhaseAccumulator, TraceRecord};
 pub use replay::{MaintenancePolicy, ReplayConfig, ReplayError, ReplayHarness};
 pub use report::{
-    ChurnSuiteReport, DensityPoint, DensitySweepReport, EventCost, ReplayReport, ScalePoint,
-    ScaleSweepReport, ScenarioComparison,
+    AnatomyPoint, ChurnSuiteReport, CostAnatomyReport, DensityPoint, DensitySweepReport, EventCost,
+    ReplayReport, ScalePoint, ScaleSweepReport, ScenarioComparison,
 };
 pub use scenarios::{
     standard_suite, AdversarialTreeCut, MixedPhases, MultiEdgeCuts, PartitionHeal, PoissonChurn,

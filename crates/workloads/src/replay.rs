@@ -17,13 +17,14 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use kkt_baselines::{build_mst_ghs, build_st_by_flooding};
-use kkt_congest::{CongestError, CostReport, Network, NetworkConfig, Scheduler};
+use kkt_congest::{CongestError, CostReport, Network, NetworkConfig, PhaseLedger, Scheduler};
 use kkt_core::{
-    build_mst, build_st, BatchError, CoreError, KktConfig, MaintainOptions, MaintainedForest,
-    TreeKind,
+    build_mst, build_st, BatchError, CoreError, DeleteOutcome, InsertOutcome, KktConfig,
+    MaintainOptions, MaintainedForest, TreeKind, UpdateOutcome,
 };
 use kkt_graphs::generators::Update;
 use kkt_graphs::{verify_mst, verify_spanning_forest, Graph, ShadowOracle, SpanningForest};
+use kkt_obs::{Observer, TraceRecord};
 
 use crate::event::WorkloadEvent;
 use crate::report::{scheduler_label, ReplayReport};
@@ -225,6 +226,37 @@ impl ReplayHarness {
         workload: &Workload,
         policy: MaintenancePolicy,
     ) -> Result<ReplayReport, ReplayError> {
+        self.replay_with(base, workload, policy, None)
+    }
+
+    /// Like [`Self::replay`], but additionally emits one [`TraceRecord`] per
+    /// top-level event to `observer` (and a final [`Observer::on_finish`]).
+    ///
+    /// Observation is pure: the returned report is bit-identical to the one
+    /// [`Self::replay`] produces, and every record's per-phase ledger sums to
+    /// its total cost delta exactly (asserted per event).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::replay`].
+    pub fn replay_observed(
+        &self,
+        base: &Graph,
+        workload: &Workload,
+        policy: MaintenancePolicy,
+        observer: &mut dyn Observer,
+    ) -> Result<ReplayReport, ReplayError> {
+        let report = self.replay_with(base, workload, policy, Some(observer))?;
+        Ok(report)
+    }
+
+    fn replay_with(
+        &self,
+        base: &Graph,
+        workload: &Workload,
+        policy: MaintenancePolicy,
+        observer: Option<&mut dyn Observer>,
+    ) -> Result<ReplayReport, ReplayError> {
         if !policy.supports(self.config.kind) {
             return Err(ReplayError::UnsupportedPolicy {
                 policy: policy.label(),
@@ -234,9 +266,9 @@ impl ReplayHarness {
         workload.check_applicable(base).map_err(ReplayError::InvalidTrace)?;
         match policy {
             MaintenancePolicy::Impromptu | MaintenancePolicy::BatchedRepair => {
-                self.replay_impromptu(base, workload, policy)
+                self.replay_impromptu(base, workload, policy, observer)
             }
-            _ => self.replay_rebuild(base, workload, policy),
+            _ => self.replay_rebuild(base, workload, policy, observer),
         }
     }
 
@@ -304,6 +336,7 @@ impl ReplayHarness {
         base: &Graph,
         workload: &Workload,
         policy: MaintenancePolicy,
+        mut observer: Option<&mut dyn Observer>,
     ) -> Result<ReplayReport, ReplayError> {
         let options = MaintainOptions {
             config: KktConfig::default(),
@@ -324,7 +357,8 @@ impl ReplayHarness {
             let updates =
                 primitives_as_updates(event, &mut oracle).map_err(ReplayError::InvalidTrace)?;
             let before = forest.cost();
-            match policy {
+            let ledger_before = forest.phase_ledger();
+            let outcomes = match policy {
                 // One full repair per primitive, even inside bursts.
                 MaintenancePolicy::Impromptu => forest.apply_batch_sequential(&updates)?,
                 // Bursts repaired in one pipelined pass.
@@ -332,12 +366,28 @@ impl ReplayHarness {
             };
             let delta = forest.cost() - before;
             report.push_event(i, event.kind(), delta);
-            if self.checkpoint_due(i, total) {
+            let verified = self.checkpoint_due(i, total);
+            if verified {
                 self.verify_checkpoint(&oracle, &forest.snapshot(), i)?;
                 report.checkpoints_verified += 1;
             }
+            if let Some(obs) = observer.as_deref_mut() {
+                let phases = forest.phase_ledger() - ledger_before;
+                emit_record(
+                    obs,
+                    i,
+                    event.kind(),
+                    outcomes_label(&outcomes),
+                    verified,
+                    phases,
+                    delta,
+                );
+            }
         }
         report.finalize();
+        if let Some(obs) = observer {
+            obs.on_finish();
+        }
         Ok(report)
     }
 
@@ -398,6 +448,7 @@ impl ReplayHarness {
         base: &Graph,
         workload: &Workload,
         policy: MaintenancePolicy,
+        mut observer: Option<&mut dyn Observer>,
     ) -> Result<ReplayReport, ReplayError> {
         let mut report = self.report_skeleton(base, workload, policy);
         let mut oracle = ShadowOracle::new(base);
@@ -414,13 +465,83 @@ impl ReplayHarness {
             mirror_updates(&mut scratch, &updates)?;
             let cost = self.rebuild_in(&mut scratch, policy, i)?;
             report.push_event(i, event.kind(), cost);
-            if self.checkpoint_due(i, total) {
+            let verified = self.checkpoint_due(i, total);
+            if verified {
                 self.verify_checkpoint(&oracle, &scratch.marked_forest_snapshot(), i)?;
                 report.checkpoints_verified += 1;
             }
+            if let Some(obs) = observer.as_deref_mut() {
+                // `Network::reset` zeroed the ledger with the counters, so
+                // the scratch ledger *is* this event's attribution.
+                emit_record(
+                    obs,
+                    i,
+                    event.kind(),
+                    "rebuilt".to_string(),
+                    verified,
+                    scratch.phase_ledger(),
+                    cost,
+                );
+            }
         }
         report.finalize();
+        if let Some(obs) = observer {
+            obs.on_finish();
+        }
         Ok(report)
+    }
+}
+
+/// Builds one event's trace record and hands it to the observer — after
+/// asserting the phase ledger conserves against the event's cost delta, which
+/// is the tracing layer's core invariant (attribution never loses a bit).
+fn emit_record(
+    observer: &mut dyn Observer,
+    index: usize,
+    kind: String,
+    outcome: String,
+    verified: bool,
+    phases: PhaseLedger,
+    delta: CostReport,
+) {
+    let total = phases.total();
+    assert!(
+        total.messages == delta.messages
+            && total.bits == delta.bits
+            && total.time == delta.time
+            && total.broadcast_echoes == delta.broadcast_echoes,
+        "phase ledger does not conserve at event {index}: phase sum {total:?} vs totals {delta:?}"
+    );
+    let record = TraceRecord {
+        index,
+        kind,
+        outcome,
+        checkpoint: if verified { "verified" } else { "skipped" }.to_string(),
+        phases,
+        total,
+    };
+    observer.on_event(&record);
+}
+
+/// Deterministic per-event outcome label: the applied primitives' outcomes
+/// joined with `+` (bursts), `noop` for an empty event.
+fn outcomes_label(outcomes: &[UpdateOutcome]) -> String {
+    if outcomes.is_empty() {
+        return "noop".to_string();
+    }
+    outcomes.iter().map(outcome_label).collect::<Vec<_>>().join("+")
+}
+
+fn outcome_label(outcome: &UpdateOutcome) -> &'static str {
+    match outcome {
+        UpdateOutcome::Deleted(DeleteOutcome::NotATreeEdge) => "non_tree_delete",
+        UpdateOutcome::Deleted(DeleteOutcome::Bridge) => "bridge",
+        UpdateOutcome::Deleted(DeleteOutcome::Replaced(_)) => "replaced",
+        UpdateOutcome::Deleted(DeleteOutcome::BatchRepaired) => "batch_repaired",
+        UpdateOutcome::Inserted(InsertOutcome::MergedFragments) => "merged",
+        UpdateOutcome::Inserted(InsertOutcome::Swapped { .. }) => "swapped",
+        UpdateOutcome::Inserted(InsertOutcome::NotNeeded) => "not_needed",
+        UpdateOutcome::Reweighted => "reweighted",
     }
 }
 

@@ -3,7 +3,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use kkt_congest::{CostReport, Scheduler};
+use kkt_congest::{CostReport, PhaseCost, PhaseLedger, Scheduler};
 use kkt_graphs::Graph;
 
 use crate::fingerprint::fingerprint_hex;
@@ -289,6 +289,65 @@ pub struct DensitySweepReport {
 }
 
 impl DensitySweepReport {
+    /// Seals the report (see [`sealed_fingerprint`]).
+    pub fn seal(&mut self) {
+        self.fingerprint = String::new();
+        self.fingerprint = sealed_fingerprint(self);
+    }
+}
+
+/// One grid cell of the E14 cost anatomy: one `(n, density, scenario,
+/// policy)` replay with its cost decomposed by phase (summed over the whole
+/// trace, build excluded — the anatomy prices *maintenance*).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnatomyPoint {
+    /// Nodes of this point's base graph.
+    pub n: usize,
+    /// Live edges of this point's base graph.
+    pub m: usize,
+    /// Ladder label of the density rung.
+    pub density: String,
+    /// Achieved density ratio `m / n`.
+    pub m_over_n: f64,
+    /// Scenario identifier.
+    pub scenario: String,
+    /// Policy label.
+    pub policy: String,
+    /// Top-level events of the trace.
+    pub events: usize,
+    /// Oracle checkpoints that verified.
+    pub checkpoints_verified: usize,
+    /// Fingerprint of the generated trace.
+    pub workload_fingerprint: String,
+    /// Per-phase cost over all events.
+    pub phases: PhaseLedger,
+    /// The phase sums — conservation-checked against the replay's event
+    /// totals before the point is recorded.
+    pub total: PhaseCost,
+    /// Label of the phase with the most bits (ties break in ledger order).
+    pub dominant_phase: String,
+}
+
+/// The document `exp14_cost_anatomy` emits: where do the bits go? Every
+/// `(n, density)` cell of the E13 grid replayed under every MST policy with
+/// the phase-attributing observer installed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostAnatomyReport {
+    /// Master seed.
+    pub seed: u64,
+    /// `mst` or `st`.
+    pub tree_kind: String,
+    /// Scheduler label.
+    pub scheduler: String,
+    /// One entry per `(n, density, scenario, policy)`, `n`-major then ladder
+    /// then scenario then policy order.
+    pub points: Vec<AnatomyPoint>,
+    /// FNV-1a fingerprint over the whole serialised document (with this
+    /// field emptied).
+    pub fingerprint: String,
+}
+
+impl CostAnatomyReport {
     /// Seals the report (see [`sealed_fingerprint`]).
     pub fn seal(&mut self) {
         self.fingerprint = String::new();

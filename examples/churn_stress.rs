@@ -13,7 +13,10 @@
 //! ```
 
 use kkt::core::TreeKind;
-use kkt::workloads::{run_churn_suite, ChurnSuiteReport, SuiteParams};
+use kkt::workloads::{
+    run_churn_suite, ChurnSuiteReport, MaintenancePolicy, MixedPhases, PhaseAccumulator,
+    ReplayConfig, ReplayHarness, Scenario, SuiteParams,
+};
 
 fn summarise(report: &ChurnSuiteReport) {
     println!(
@@ -58,5 +61,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // (expected O(n)) and the rebuild baseline is Θ(m) flooding.
     let st = SuiteParams { kind: TreeKind::St, max_weight: 1, ..mst };
     summarise(&run_churn_suite(&st)?);
+
+    // KKT_TRACE=1: one extra observed replay of the mixed lifecycle per MST
+    // policy, decomposing each policy's bits by phase. Attribution is pure —
+    // the suites above print the same numbers with or without the flag.
+    if std::env::var("KKT_TRACE").is_ok_and(|v| v == "1") {
+        let base = mst.base_graph();
+        let workload = MixedPhases::standard(mst.max_weight).generate(&base, mst.events, mst.seed);
+        let harness = ReplayHarness::new(ReplayConfig {
+            kind: mst.kind,
+            scheduler: mst.scheduler,
+            verify_every: mst.verify_every,
+            seed: mst.seed,
+            paranoid: false,
+        });
+        println!("\n== phase anatomy of {} (KKT_TRACE=1)", workload.scenario);
+        for policy in MaintenancePolicy::all_for(mst.kind) {
+            let mut phases = PhaseAccumulator::new();
+            let report = harness.replay_observed(&base, &workload, policy, &mut phases)?;
+            println!("-- {}", report.policy);
+            println!("{}", report.total.phase_table(&phases.ledger));
+        }
+    }
     Ok(())
 }
