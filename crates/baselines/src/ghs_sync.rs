@@ -56,94 +56,96 @@ pub struct GhsOutcome {
 /// tree in the network's forest and charging `O(m + n log n)` messages to its
 /// cost tracker.
 pub fn build_mst_ghs(net: &mut Network) -> GhsOutcome {
-    net.span(kkt_congest::Phase::RebuildSweep, build_mst_ghs_inner)
-}
+    // The whole construction runs inside one RebuildSweep span so that every
+    // charge site below is *lexically* within the span closure — the shape
+    // the kkt-lint R4 rule verifies statically.
+    net.span(kkt_congest::Phase::RebuildSweep, |net| {
+        let n = net.node_count();
+        let word = net.word_bits() as u64;
+        let mut uf = UnionFind::new(n);
+        let mut rejected: Vec<bool> = Vec::new();
+        rejected.resize(net.graph().live_edges().map(|e| e.0).max().map_or(0, |m| m + 1), false);
+        let mut tree_edges: Vec<EdgeId> = Vec::new();
+        let mut phases = Vec::new();
 
-fn build_mst_ghs_inner(net: &mut Network) -> GhsOutcome {
-    let n = net.node_count();
-    let word = net.word_bits() as u64;
-    let mut uf = UnionFind::new(n);
-    let mut rejected: Vec<bool> = Vec::new();
-    rejected.resize(net.graph().live_edges().map(|e| e.0).max().map_or(0, |m| m + 1), false);
-    let mut tree_edges: Vec<EdgeId> = Vec::new();
-    let mut phases = Vec::new();
+        for phase in 1..=(2 * (usize::BITS - n.leading_zeros()) + 2) {
+            let fragments = uf.component_count();
+            if fragments == net.graph().component_count() {
+                break;
+            }
+            let mut probes = 0u64;
+            let mut newly_rejected = 0u64;
 
-    for phase in 1..=(2 * (usize::BITS - n.leading_zeros()) + 2) {
-        let fragments = uf.component_count();
-        if fragments == net.graph().component_count() {
-            break;
-        }
-        let mut probes = 0u64;
-        let mut newly_rejected = 0u64;
-
-        // Each node probes its incident edges (cheapest first, as in GHS)
-        // until it finds one that leaves its fragment. Each probe costs a
-        // test message and a reply.
-        let mut best_per_fragment: Vec<Option<(kkt_graphs::UniqueWeight, EdgeId)>> = vec![None; n];
-        for x in 0..n {
-            let mut incident: Vec<EdgeId> = net.graph().incident(x).collect();
-            incident.sort_by_key(|&e| net.graph().unique_weight(e));
-            for e in incident {
-                if net.forest().is_marked(e) {
-                    continue;
-                }
-                if rejected.get(e.0).copied().unwrap_or(false) {
-                    continue;
-                }
-                let edge = *net.graph().edge(e);
-                probes += 1;
-                net.cost_mut().record_message(word); // test(fragment id)
-                net.cost_mut().record_message(1); // accept / reject
-                if uf.find(edge.u) == uf.find(edge.v) {
-                    if e.0 < rejected.len() {
-                        rejected[e.0] = true;
+            // Each node probes its incident edges (cheapest first, as in GHS)
+            // until it finds one that leaves its fragment. Each probe costs a
+            // test message and a reply.
+            let mut best_per_fragment: Vec<Option<(kkt_graphs::UniqueWeight, EdgeId)>> =
+                vec![None; n];
+            for x in 0..n {
+                let mut incident: Vec<EdgeId> = net.graph().incident(x).collect();
+                incident.sort_by_key(|&e| net.graph().unique_weight(e));
+                for e in incident {
+                    if net.forest().is_marked(e) {
+                        continue;
                     }
-                    newly_rejected += 1;
-                    // Keep probing: this edge is internal.
-                    continue;
+                    if rejected.get(e.0).copied().unwrap_or(false) {
+                        continue;
+                    }
+                    let edge = *net.graph().edge(e);
+                    probes += 1;
+                    net.cost_mut().record_message(word); // test(fragment id)
+                    net.cost_mut().record_message(1); // accept / reject
+                    if uf.find(edge.u) == uf.find(edge.v) {
+                        if e.0 < rejected.len() {
+                            rejected[e.0] = true;
+                        }
+                        newly_rejected += 1;
+                        // Keep probing: this edge is internal.
+                        continue;
+                    }
+                    // Outgoing edge found: remember it as this node's candidate
+                    // and stop probing (GHS nodes stop at their local minimum).
+                    let root = uf.find(x);
+                    let candidate = (net.graph().unique_weight(e), e);
+                    if best_per_fragment[root].is_none_or(|cur| candidate < cur) {
+                        best_per_fragment[root] = Some(candidate);
+                    }
+                    break;
                 }
-                // Outgoing edge found: remember it as this node's candidate
-                // and stop probing (GHS nodes stop at their local minimum).
-                let root = uf.find(x);
-                let candidate = (net.graph().unique_weight(e), e);
-                if best_per_fragment[root].is_none_or(|cur| candidate < cur) {
-                    best_per_fragment[root] = Some(candidate);
+            }
+
+            // Fragment-internal coordination: leader election, convergecast of
+            // the candidates and broadcast of the decision cost O(|T|) messages
+            // each, i.e. 3 messages per node per phase.
+            for _ in 0..n {
+                net.cost_mut().record_message(word);
+                net.cost_mut().record_message(word);
+                net.cost_mut().record_message(word);
+            }
+            let max_degree = kkt_graphs::metrics::degree_stats(net.graph()).max as u64;
+            net.cost_mut().record_time(2 * (max_degree + 1));
+
+            // Merge along the chosen edges.
+            let mut progressed = false;
+            for best in best_per_fragment.iter().take(n) {
+                if let Some((_, e)) = *best {
+                    let edge = net.graph().edge(e);
+                    if uf.union(edge.u, edge.v) {
+                        tree_edges.push(e);
+                        net.mark(e);
+                        net.cost_mut().record_message(word); // connect message
+                        progressed = true;
+                    }
                 }
+            }
+            phases.push(GhsPhase { phase, fragments, probes, rejected: newly_rejected });
+            if !progressed {
                 break;
             }
         }
 
-        // Fragment-internal coordination: leader election, convergecast of
-        // the candidates and broadcast of the decision cost O(|T|) messages
-        // each, i.e. 3 messages per node per phase.
-        for _ in 0..n {
-            net.cost_mut().record_message(word);
-            net.cost_mut().record_message(word);
-            net.cost_mut().record_message(word);
-        }
-        let max_degree = kkt_graphs::metrics::degree_stats(net.graph()).max as u64;
-        net.cost_mut().record_time(2 * (max_degree + 1));
-
-        // Merge along the chosen edges.
-        let mut progressed = false;
-        for best in best_per_fragment.iter().take(n) {
-            if let Some((_, e)) = *best {
-                let edge = net.graph().edge(e);
-                if uf.union(edge.u, edge.v) {
-                    tree_edges.push(e);
-                    net.mark(e);
-                    net.cost_mut().record_message(word); // connect message
-                    progressed = true;
-                }
-            }
-        }
-        phases.push(GhsPhase { phase, fragments, probes, rejected: newly_rejected });
-        if !progressed {
-            break;
-        }
-    }
-
-    GhsOutcome { tree_edges, phases }
+        GhsOutcome { tree_edges, phases }
+    })
 }
 
 #[cfg(test)]

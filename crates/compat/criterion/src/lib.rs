@@ -55,6 +55,9 @@ impl Bencher {
     /// shim favours fast feedback over statistical rigour).
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         const ITERATIONS: u64 = 3;
+        // Clock read allowed (clippy.toml/R2): a benchmark harness exists to
+        // time things; its seconds are printed, never fingerprinted.
+        #[allow(clippy::disallowed_methods)]
         let start = Instant::now();
         for _ in 0..ITERATIONS {
             black_box(routine());

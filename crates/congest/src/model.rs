@@ -296,6 +296,10 @@ impl Network {
     /// only the per-phase ledger slot the costs land in.
     pub fn span<T>(&mut self, phase: Phase, f: impl FnOnce(&mut Self) -> T) -> T {
         let prev = self.cost.enter_phase(phase);
+        // Clock read allowed (clippy.toml/R2): the span only reads the clock
+        // while the opt-in PhaseProfile is installed, and seconds never reach
+        // fingerprints — this is the designated wall-clock feed.
+        #[allow(clippy::disallowed_methods)]
         let started = self.profile.as_ref().map(|_| std::time::Instant::now());
         let out = f(self);
         if let (Some(profile), Some(t0)) = (self.profile.as_mut(), started) {

@@ -11,7 +11,7 @@
 //! handshake happens to exclude nothing — the newly added edges on the cycle
 //! are dropped for this phase (Appendix B's fallback).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use kkt_congest::{leader::elect_leaders, BitSized, Network, Phase};
 use kkt_graphs::EdgeId;
@@ -101,7 +101,9 @@ fn break_cycles<R: Rng + ?Sized>(
         if _round == 0 {
             // Randomised handshake: each cycle node nominates one incident
             // cycle edge and notifies the other endpoint (one message each).
-            let mut nominations: HashMap<(usize, usize), u32> = HashMap::new();
+            // Ordered map: the unmark loop below iterates it, and iteration
+            // in a fingerprinted path must not depend on hasher state (R1).
+            let mut nominations: BTreeMap<(usize, usize), u32> = BTreeMap::new();
             for &x in &cycle_nodes {
                 let neighbors = &election.unheard[x];
                 debug_assert_eq!(neighbors.len(), 2);
@@ -121,7 +123,7 @@ fn break_cycles<R: Rng + ?Sized>(
             // Fallback: drop this phase's new edges that lie on a surviving
             // cycle, which certainly breaks it while keeping older forest
             // edges intact.
-            let on_cycle: std::collections::HashSet<usize> = cycle_nodes.into_iter().collect();
+            let on_cycle: std::collections::BTreeSet<usize> = cycle_nodes.into_iter().collect();
             for &e in new_edges {
                 let edge = net.graph().edge(e);
                 if on_cycle.contains(&edge.u) && on_cycle.contains(&edge.v) {
@@ -224,6 +226,27 @@ mod tests {
             st_net.cost().messages,
             mst_net.cost().messages
         );
+    }
+
+    #[test]
+    fn same_seed_builds_are_bit_identical() {
+        // Regression pin for the cycle-handshake bookkeeping: the nomination
+        // tally is iterated when unmarking doubly-nominated edges, so it must
+        // be an ordered container (it was a `HashMap`, whose per-instance
+        // hasher state makes iteration order differ between two same-seed
+        // runs in one process). Same seed ⇒ identical costs and forest.
+        for seed in 0..4 {
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            let g = generators::complete(12, 1, &mut StdRng::seed_from_u64(99 + seed));
+            let mut net_a = Network::new(g.clone(), NetworkConfig::default());
+            let mut net_b = Network::new(g, NetworkConfig::default());
+            build_st(&mut net_a, &cfg(), &mut rng_a).unwrap();
+            build_st(&mut net_b, &cfg(), &mut rng_b).unwrap();
+            assert_eq!(net_a.cost(), net_b.cost());
+            assert_eq!(net_a.phase_ledger(), net_b.phase_ledger());
+            assert_eq!(net_a.marked_forest_snapshot(), net_b.marked_forest_snapshot());
+        }
     }
 
     #[test]

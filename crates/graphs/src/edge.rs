@@ -152,8 +152,8 @@ mod tests {
 
     #[test]
     fn u64_key_is_order_independent_and_distinct_for_small_ids() {
-        use std::collections::HashSet;
-        let mut seen = HashSet::new();
+        use std::collections::BTreeSet;
+        let mut seen = BTreeSet::new();
         for a in 1u64..40 {
             for b in (a + 1)..40 {
                 let k = EdgeNumber::from_ids(a, b).as_u64_key();

@@ -75,7 +75,7 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
     #[test]
     fn fingerprints_are_deterministic_and_nonzero() {
@@ -107,7 +107,7 @@ mod tests {
         let kr = KarpRabin::new(56, &mut rng);
         let ids: Vec<u128> = (0..10_000u128).map(|i| (0xDEAD_BEEF << 64) | (i * i + 1)).collect();
         let fps = kr.fingerprint_all(&ids);
-        let distinct: HashSet<_> = fps.iter().collect();
+        let distinct: BTreeSet<_> = fps.iter().collect();
         assert_eq!(distinct.len(), ids.len());
         assert!(kr.collision_probability_bound(10_000) < 1e-6);
     }

@@ -1,0 +1,146 @@
+//! kkt-lint: the workspace's own static-analysis pass.
+//!
+//! Six rules (R1–R6, see [`rules`]) guard the invariants the runtime checks
+//! can't see until they fire: fingerprint determinism, wall-clock hygiene,
+//! exact integer accounting, lexical span coverage of cost charges,
+//! fleet-runner thread safety, and compat-shim API discipline. The driver
+//! walks the configured source roots in sorted order, runs every rule over
+//! every file, then subtracts the explicit allowlist from `lint.toml` —
+//! unused allowlist entries are themselves errors, so every suppression in
+//! the config is load-bearing.
+
+pub mod config;
+pub mod rules;
+pub mod scanner;
+
+use config::Config;
+use rules::{ExportMap, Violation};
+use scanner::SourceFile;
+use std::path::{Path, PathBuf};
+
+/// The result of a full workspace lint.
+#[derive(Debug, Default)]
+pub struct LintOutcome {
+    /// Violations that survived the allowlist, sorted by (path, line, rule).
+    pub violations: Vec<Violation>,
+    /// Allowlist entries that matched nothing — config rot, reported as errors.
+    pub unused_allows: Vec<String>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Lines suppressed by the allowlist (for the summary line).
+    pub suppressed: usize,
+}
+
+impl LintOutcome {
+    /// Clean means zero violations *and* zero stale allowlist entries.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.unused_allows.is_empty()
+    }
+
+    /// Renders `file:line: [rule] message` diagnostics plus a summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            out.push_str(&format!("{}:{}: [{}] {}\n", v.path, v.line, v.rule, v.message));
+        }
+        for stale in &self.unused_allows {
+            out.push_str(&format!("lint.toml: stale allowlist entry matched nothing: {stale}\n"));
+        }
+        out.push_str(&format!(
+            "kkt-lint: {} file(s) scanned, {} violation(s), {} suppression(s) used, {} stale allow(s)\n",
+            self.files_scanned,
+            self.violations.len(),
+            self.suppressed,
+            self.unused_allows.len()
+        ));
+        out
+    }
+}
+
+/// Walks `root` per the config and checks every rule. `root` is the
+/// workspace root (the directory holding `lint.toml`).
+pub fn run(root: &Path, cfg: &Config) -> Result<LintOutcome, String> {
+    let exports = ExportMap::from_compat(&root.join(&cfg.compat_root), &cfg.shims)?;
+    let mut files = Vec::new();
+    for src_root in &cfg.source_roots {
+        let dir = root.join(src_root);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        } else if dir.extension().is_some_and(|e| e == "rs") && dir.is_file() {
+            files.push(dir);
+        }
+    }
+    files.sort();
+    files.dedup();
+
+    let mut outcome = LintOutcome::default();
+    let mut used = vec![false; cfg.allow.len()];
+    for path in files {
+        let rel = rel_path(root, &path);
+        if cfg.exclude.iter().any(|p| rel == *p || rel.starts_with(&format!("{p}/"))) {
+            continue;
+        }
+        let raw =
+            std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let file = SourceFile::scan(&rel, raw);
+        outcome.files_scanned += 1;
+        for v in rules::check_file(&file, cfg, &exports) {
+            let line_text = file.line_text(v.line);
+            let allowed = cfg.allow.iter().enumerate().find(|(_, a)| {
+                a.rule == v.rule && a.path == v.path && line_text.contains(&a.contains)
+            });
+            match allowed {
+                Some((idx, _)) => {
+                    used[idx] = true;
+                    outcome.suppressed += 1;
+                }
+                None => outcome.violations.push(v),
+            }
+        }
+    }
+    for (idx, was_used) in used.iter().enumerate() {
+        if !was_used {
+            let a = &cfg.allow[idx];
+            outcome
+                .unused_allows
+                .push(format!("rule={} path={} contains=\"{}\"", a.rule, a.path, a.contains));
+        }
+    }
+    outcome.violations.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(outcome)
+}
+
+/// Loads `lint.toml` from `root` and runs the full pass.
+pub fn run_from_root(root: &Path) -> Result<LintOutcome, String> {
+    let cfg_path = root.join("lint.toml");
+    let text = std::fs::read_to_string(&cfg_path)
+        .map_err(|e| format!("read {}: {e}", cfg_path.display()))?;
+    let cfg = Config::from_toml(&text)?;
+    run(root, &cfg)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    for entry in std::fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))? {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let path = entry.path();
+        if path.is_dir() {
+            let name = entry.file_name();
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}

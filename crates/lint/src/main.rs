@@ -1,0 +1,83 @@
+//! CLI entry point: `cargo run -p kkt-lint -- --check`.
+//!
+//! Exit codes: 0 clean, 1 violations (or stale allowlist entries), 2 usage or
+//! configuration errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+kkt-lint: static determinism & invariant checks (rules R1-R6)
+
+USAGE:
+    kkt-lint --check [--config <lint.toml>] [--root <dir>]
+
+OPTIONS:
+    --check            run the lint pass (required; there is no fix mode)
+    --config <path>    config file (default: <root>/lint.toml)
+    --root <dir>       workspace root to scan (default: current directory)
+";
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut root = PathBuf::from(".");
+    let mut config: Option<PathBuf> = None;
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--root" => match argv.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage_error("--root needs a value"),
+            },
+            "--config" => match argv.next() {
+                Some(v) => config = Some(PathBuf::from(v)),
+                None => return usage_error("--config needs a value"),
+            },
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+    if !check {
+        return usage_error("nothing to do: pass --check");
+    }
+
+    let cfg_path = config.unwrap_or_else(|| root.join("lint.toml"));
+    let cfg_text = match std::fs::read_to_string(&cfg_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("kkt-lint: cannot read {}: {e}", cfg_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = match kkt_lint::config::Config::from_toml(&cfg_text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("kkt-lint: bad config {}: {e}", cfg_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    match kkt_lint::run(&root, &cfg) {
+        Ok(outcome) => {
+            print!("{}", outcome.render());
+            if outcome.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("kkt-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("kkt-lint: {message}\n\n{USAGE}");
+    ExitCode::from(2)
+}

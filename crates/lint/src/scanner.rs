@@ -1,0 +1,440 @@
+//! A lightweight Rust source scanner — the workspace has no crates.io access,
+//! so there is no `syn`; instead, a character-level state machine blanks out
+//! comments, string literals and char literals (preserving line structure),
+//! and a few structural passes over the blanked text recover what the rules
+//! need: line numbers, `#[cfg(test)]` module extents, and the argument
+//! extents of `Network::span(...)` calls.
+//!
+//! Working on blanked text makes the simple substring/word searches the rules
+//! use *sound*: a `HashMap` inside a doc comment or a format string can never
+//! fire a diagnostic, and brace/paren matching cannot be derailed by
+//! delimiters inside literals.
+
+/// One scanned source file, ready for rule checks.
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub rel_path: String,
+    /// Raw text (used for diagnostics and allowlist `contains` matching).
+    pub raw: String,
+    /// Same length as `raw` (in chars), with comments, strings and char
+    /// literals replaced by spaces. Newlines are preserved everywhere.
+    pub stripped: String,
+    /// Char offset of the start of each line.
+    line_starts: Vec<usize>,
+    /// Char ranges of `#[cfg(test)] mod ... { ... }` bodies.
+    test_regions: Vec<(usize, usize)>,
+    /// Char ranges of the argument lists of `.span(...)` calls.
+    span_extents: Vec<(usize, usize)>,
+    /// True for files that are test/bench code by location alone.
+    pub is_test_file: bool,
+}
+
+impl SourceFile {
+    /// Scans `raw`, classifying by `rel_path` (files under `tests/`,
+    /// `benches/` or named `build.rs` are test-side code).
+    pub fn scan(rel_path: &str, raw: String) -> SourceFile {
+        let stripped = strip(&raw);
+        let chars: Vec<char> = stripped.chars().collect();
+        let mut line_starts = vec![0usize];
+        for (i, &c) in chars.iter().enumerate() {
+            if c == '\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        let test_regions = find_test_regions(&chars);
+        let span_extents = find_span_extents(&chars);
+        let is_test_file = rel_path.split('/').any(|seg| seg == "tests" || seg == "benches");
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            raw,
+            stripped,
+            line_starts,
+            test_regions,
+            span_extents,
+            is_test_file,
+        }
+    }
+
+    /// 1-based line number of a char offset.
+    pub fn line_of(&self, offset: usize) -> usize {
+        self.line_starts.partition_point(|&s| s <= offset)
+    }
+
+    /// Raw text of a 1-based line, trimmed.
+    pub fn line_text(&self, line: usize) -> &str {
+        self.raw.lines().nth(line.saturating_sub(1)).unwrap_or("").trim()
+    }
+
+    /// True when the offset lies inside a `#[cfg(test)]` module (or the whole
+    /// file is test-side code).
+    pub fn in_test(&self, offset: usize) -> bool {
+        self.is_test_file || self.test_regions.iter().any(|&(s, e)| offset >= s && offset < e)
+    }
+
+    /// True when the offset lies inside the argument extent of a
+    /// `.span(...)` call — the lexical coverage the R4 rule accepts.
+    pub fn in_span(&self, offset: usize) -> bool {
+        self.span_extents.iter().any(|&(s, e)| offset >= s && offset < e)
+    }
+
+    /// Char offsets at which `word` occurs as a whole identifier.
+    pub fn word_occurrences(&self, word: &str) -> Vec<usize> {
+        word_occurrences_in(&self.stripped, word)
+    }
+
+    /// Char offsets at which `needle` occurs verbatim in the stripped text.
+    pub fn substring_occurrences(&self, needle: &str) -> Vec<usize> {
+        let chars: Vec<char> = self.stripped.chars().collect();
+        let pat: Vec<char> = needle.chars().collect();
+        let mut out = Vec::new();
+        if pat.is_empty() || chars.len() < pat.len() {
+            return out;
+        }
+        for i in 0..=(chars.len() - pat.len()) {
+            if chars[i..i + pat.len()] == pat[..] {
+                out.push(i);
+            }
+        }
+        out
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Whole-identifier occurrences of `word` in `text`.
+pub fn word_occurrences_in(text: &str, word: &str) -> Vec<usize> {
+    let chars: Vec<char> = text.chars().collect();
+    let pat: Vec<char> = word.chars().collect();
+    let mut out = Vec::new();
+    if pat.is_empty() || chars.len() < pat.len() {
+        return out;
+    }
+    for i in 0..=(chars.len() - pat.len()) {
+        if chars[i..i + pat.len()] != pat[..] {
+            continue;
+        }
+        let before_ok = i == 0 || !is_ident_char(chars[i - 1]);
+        let after = i + pat.len();
+        let after_ok = after >= chars.len() || !is_ident_char(chars[after]);
+        if before_ok && after_ok {
+            out.push(i);
+        }
+    }
+    out
+}
+
+/// Replaces comments, string literals and char literals with spaces,
+/// preserving every newline so line numbers survive.
+pub fn strip(raw: &str) -> String {
+    let chars: Vec<char> = raw.chars().collect();
+    let mut out: Vec<char> = Vec::with_capacity(chars.len());
+    let mut i = 0;
+    let n = chars.len();
+    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
+
+    while i < n {
+        let c = chars[i];
+        // Line comment.
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            while i < n && chars[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (nesting, as Rust allows).
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let mut depth = 0;
+            while i < n {
+                if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    out.push(blank(chars[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw string (r"...", r#"..."#, br#"..."# …) — count hashes.
+        if (c == 'r' || c == 'b') && i + 1 < n {
+            let start = i;
+            let mut j = i;
+            if chars[j] == 'b' && j + 1 < n && chars[j + 1] == 'r' {
+                j += 1;
+            }
+            if chars[j] == 'r' {
+                let mut k = j + 1;
+                let mut hashes = 0;
+                while k < n && chars[k] == '#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if k < n && chars[k] == '"' {
+                    // Identifier guard: `r` must not be part of a name.
+                    let prev_ok = start == 0 || !is_ident_char(chars[start - 1]);
+                    if prev_ok {
+                        // Consume until closing quote + hashes.
+                        let mut m = k + 1;
+                        'raw: while m < n {
+                            if chars[m] == '"' {
+                                let mut h = 0;
+                                while m + 1 + h < n && h < hashes && chars[m + 1 + h] == '#' {
+                                    h += 1;
+                                }
+                                if h == hashes {
+                                    m += 1 + hashes;
+                                    break 'raw;
+                                }
+                            }
+                            m += 1;
+                        }
+                        for &ch in &chars[start..m.min(n)] {
+                            out.push(blank(ch));
+                        }
+                        i = m.min(n);
+                        continue;
+                    }
+                }
+            }
+        }
+        // Plain or byte string.
+        if c == '"'
+            || (c == 'b'
+                && i + 1 < n
+                && chars[i + 1] == '"'
+                && (i == 0 || !is_ident_char(chars[i - 1])))
+        {
+            let mut j = if c == 'b' { i + 1 } else { i };
+            // j is at the opening quote.
+            out.push(' ');
+            if c == 'b' {
+                out.push(' ');
+            }
+            j += 1;
+            while j < n {
+                if chars[j] == '\\' && j + 1 < n {
+                    out.push(blank(chars[j]));
+                    out.push(blank(chars[j + 1]));
+                    j += 2;
+                    continue;
+                }
+                if chars[j] == '"' {
+                    out.push(' ');
+                    j += 1;
+                    break;
+                }
+                out.push(blank(chars[j]));
+                j += 1;
+            }
+            i = j;
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            // Escape form: '\x'
+            if i + 1 < n && chars[i + 1] == '\\' {
+                let mut j = i + 2;
+                while j < n && chars[j] != '\'' {
+                    j += 1;
+                }
+                out.extend(std::iter::repeat_n(' ', j.min(n - 1) - i + 1));
+                i = j + 1;
+                continue;
+            }
+            // Single-char form: 'x'
+            if i + 2 < n && chars[i + 2] == '\'' && chars[i + 1] != '\'' {
+                out.push(' ');
+                out.push(' ');
+                out.push(' ');
+                i += 3;
+                continue;
+            }
+            // Lifetime or label: keep the tick, move on.
+            out.push('\'');
+            i += 1;
+            continue;
+        }
+        out.push(c);
+        i += 1;
+    }
+    out.into_iter().collect()
+}
+
+/// Finds `#[cfg(test)] mod name { ... }` body extents in blanked text.
+fn find_test_regions(chars: &[char]) -> Vec<(usize, usize)> {
+    let text: String = chars.iter().collect();
+    let mut regions = Vec::new();
+    for at in word_occurrences_in(&text, "cfg") {
+        // Expect `cfg(test)` inside an attribute `#[ ... ]`.
+        let rest: String = chars[at..chars.len().min(at + 24)].iter().collect();
+        if !rest.replace(' ', "").starts_with("cfg(test)") {
+            continue;
+        }
+        // Walk forward past the attribute close and any further attributes,
+        // looking for `mod` then `{`.
+        let mut j = at;
+        // Find the `]` closing this attribute.
+        while j < chars.len() && chars[j] != ']' {
+            j += 1;
+        }
+        // Skip whitespace and subsequent attributes.
+        loop {
+            j += 1;
+            while j < chars.len() && chars[j].is_whitespace() {
+                j += 1;
+            }
+            if j < chars.len() && chars[j] == '#' {
+                while j < chars.len() && chars[j] != ']' {
+                    j += 1;
+                }
+                continue;
+            }
+            break;
+        }
+        // Require the `mod` keyword (possibly `pub mod`).
+        let tail: String = chars[j.min(chars.len())..chars.len().min(j + 16)].iter().collect();
+        let tail = tail.trim_start();
+        if !(tail.starts_with("mod ") || tail.starts_with("pub mod ")) {
+            continue;
+        }
+        // Find the opening brace and match it.
+        while j < chars.len() && chars[j] != '{' {
+            j += 1;
+        }
+        if j >= chars.len() {
+            continue;
+        }
+        if let Some(end) = match_delim(chars, j, '{', '}') {
+            regions.push((j, end));
+        }
+    }
+    regions
+}
+
+/// Finds the argument extents of `.span(` calls in blanked text.
+fn find_span_extents(chars: &[char]) -> Vec<(usize, usize)> {
+    let text: String = chars.iter().collect();
+    let mut extents = Vec::new();
+    for at in word_occurrences_in(&text, "span") {
+        if at == 0 || chars[at - 1] != '.' {
+            continue;
+        }
+        let mut j = at + 4;
+        while j < chars.len() && chars[j].is_whitespace() {
+            j += 1;
+        }
+        // Allow turbofish `.span::<T>(`.
+        if j + 1 < chars.len() && chars[j] == ':' && chars[j + 1] == ':' {
+            while j < chars.len() && chars[j] != '(' {
+                j += 1;
+            }
+        }
+        if j >= chars.len() || chars[j] != '(' {
+            continue;
+        }
+        if let Some(end) = match_delim(chars, j, '(', ')') {
+            extents.push((j, end));
+        }
+    }
+    extents
+}
+
+/// Given `chars[open_at] == open`, returns the offset just past the matching
+/// close delimiter.
+fn match_delim(chars: &[char], open_at: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, &c) in chars.iter().enumerate().skip(open_at) {
+        if c == open {
+            depth += 1;
+        } else if c == close {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k + 1);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let src = "let a = \"HashMap\"; // HashMap here\nlet b = 1; /* Instant */ let c = 'h';";
+        let s = strip(src);
+        assert!(!s.contains("HashMap"), "{s}");
+        assert!(!s.contains("Instant"), "{s}");
+        assert_eq!(s.lines().count(), src.lines().count());
+        assert!(s.contains("let b = 1;"));
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes_survive() {
+        let src = "fn f<'a>(x: &'a str) { let y = r#\"RefCell\"#; let z: Vec<&'a u8> = vec![]; }";
+        let s = strip(src);
+        assert!(!s.contains("RefCell"), "{s}");
+        assert!(s.contains("fn f<'a>"), "lifetimes untouched: {s}");
+    }
+
+    #[test]
+    fn char_escape_does_not_derail() {
+        let src = "let q = '\\''; let w = '\\n'; let x = \"a\"; HashMap";
+        let s = strip(src);
+        assert!(s.contains("HashMap"));
+        assert!(!s.contains('a') || !s.contains("\"a\""));
+    }
+
+    #[test]
+    fn test_regions_are_found() {
+        let src = "fn real() { HashMap::new(); }\n#[cfg(test)]\nmod tests {\n    fn t() { HashMap::new(); }\n}\n";
+        let f = SourceFile::scan("crates/x/src/lib.rs", src.to_string());
+        let occ = f.word_occurrences("HashMap");
+        assert_eq!(occ.len(), 2);
+        assert!(!f.in_test(occ[0]));
+        assert!(f.in_test(occ[1]));
+    }
+
+    #[test]
+    fn span_extents_cover_charges() {
+        let src = "fn a(net: &mut N) {\n    net.span(Phase::X, |net| {\n        net.cost_mut().record_message(4);\n    });\n    net.cost_mut().record_message(5);\n}\n";
+        let f = SourceFile::scan("crates/x/src/lib.rs", src.to_string());
+        let occ = f.substring_occurrences(".record_message(");
+        assert_eq!(occ.len(), 2);
+        assert!(f.in_span(occ[0]));
+        assert!(!f.in_span(occ[1]));
+    }
+
+    #[test]
+    fn tests_and_benches_dirs_are_test_files() {
+        let f = SourceFile::scan("crates/x/tests/a.rs", "HashMap".into());
+        assert!(f.in_test(0));
+        let b = SourceFile::scan("crates/bench/benches/b.rs", "HashMap".into());
+        assert!(b.in_test(0));
+        let s = SourceFile::scan("crates/x/src/lib.rs", "HashMap".into());
+        assert!(!s.in_test(0));
+    }
+
+    #[test]
+    fn line_numbers_are_one_based() {
+        let f = SourceFile::scan("x.rs", "a\nbb\nccc\n".into());
+        assert_eq!(f.line_of(0), 1);
+        assert_eq!(f.line_of(2), 2);
+        assert_eq!(f.line_of(5), 3);
+        assert_eq!(f.line_text(2), "bb");
+    }
+}

@@ -1,0 +1,11 @@
+// R1 fail fixture: hasher-seeded containers in fingerprinted code.
+use std::collections::HashMap;
+
+pub fn tally(edges: &[(usize, usize)]) -> u64 {
+    let mut counts: HashMap<usize, u64> = HashMap::new();
+    for &(u, _) in edges {
+        *counts.entry(u).or_insert(0) += 1;
+    }
+    // Iteration order depends on the per-process hasher seed.
+    counts.values().sum()
+}

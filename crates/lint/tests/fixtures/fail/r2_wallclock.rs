@@ -1,0 +1,4 @@
+// R2 fail fixture: a wall-clock read outside the opt-in profile module.
+pub fn stamp() -> u128 {
+    std::time::Instant::now().elapsed().as_nanos()
+}

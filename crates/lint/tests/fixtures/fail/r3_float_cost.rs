@@ -1,0 +1,4 @@
+// R3 fail fixture: floats in accounting arithmetic.
+pub fn average_bits(total_bits: u64, messages: u64) -> f64 {
+    total_bits as f64 / messages as f64 * 1.5
+}

@@ -1,0 +1,6 @@
+// R4 fail fixture: a charge site outside any `Network::span` closure — the
+// cost silently lands in the caller's phase (or the Delivery default).
+pub fn notify(net: &mut Network, bits: u64) {
+    net.cost_mut().record_message(bits);
+    net.cost_mut().record_time(1);
+}

@@ -1,0 +1,9 @@
+// R5 fail fixture: shared-state hazards for the scoped-thread fleet runner.
+use std::cell::RefCell;
+
+static mut GLOBAL_SEED: u64 = 0;
+
+pub fn sample(pool: &RefCell<Vec<u64>>) -> u64 {
+    let mut rng = thread_rng();
+    pool.borrow_mut().pop().unwrap_or_else(|| rng.next_u64())
+}

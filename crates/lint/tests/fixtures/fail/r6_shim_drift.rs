@@ -1,0 +1,9 @@
+// R6 fail fixture: (a) defines a module shadowing a shim namespace, and
+// (b) reaches for API the compat shim does not provide.
+mod rand {
+    pub fn not_the_real_thing() {}
+}
+
+pub fn lookup() {
+    let _ = rand::gen_range_checked(0, 10);
+}

@@ -1,0 +1,16 @@
+// R2 pass fixture: simulated time only; the word `Instant` appears in a
+// comment (stripped) and in test code (exempt).
+pub fn advance(clock: &mut u64, by: u64) -> u64 {
+    // No Instant::now() here — simulated clocks are plain integers.
+    *clock += by;
+    *clock
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn measuring_the_test_itself_is_fine() {
+        let t = std::time::Instant::now();
+        assert!(t.elapsed().as_secs() < 60);
+    }
+}

@@ -1,0 +1,9 @@
+// R3 pass fixture: exact integer accounting. Ranges (`0..2`) and tuple
+// indices (`.0`) must not be mistaken for float literals.
+pub fn charge(slots: &mut [(u64, u64)], bits: u64) -> u64 {
+    for i in 0..2 {
+        slots[i].0 += 1;
+        slots[i].1 += bits;
+    }
+    slots.iter().map(|s| s.1).sum()
+}

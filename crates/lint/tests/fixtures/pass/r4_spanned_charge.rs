@@ -1,0 +1,10 @@
+// R4 pass fixture: charges are lexically inside a span closure, or use
+// `record_message_in`, which names its phase in the call itself.
+pub fn notify(net: &mut Network, bits: u64) {
+    net.span(Phase::Announce, |net| {
+        net.cost_mut().record_message(bits);
+        net.cost_mut().record_time(1);
+        net.cost_mut().record_broadcast_echo();
+    });
+    net.cost_mut().record_message_in(Phase::Announce, bits);
+}

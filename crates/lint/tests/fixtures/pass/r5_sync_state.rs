@@ -1,0 +1,10 @@
+// R5 pass fixture: Send + Sync state only — atomics and seeded RNG state
+// passed by value. `RefCell` appears solely in this comment.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static RUNS: AtomicU64 = AtomicU64::new(0);
+
+pub fn sample(seed: u64) -> u64 {
+    RUNS.fetch_add(1, Ordering::Relaxed);
+    seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407)
+}

@@ -1,0 +1,7 @@
+// R6 pass fixture: stays inside the shimmed API subset.
+use rand::{Rng, SeedableRng};
+
+pub fn draw(seed: u64) -> u64 {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    rng.gen_range(0..100)
+}

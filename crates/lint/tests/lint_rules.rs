@@ -1,0 +1,146 @@
+//! Per-rule fixture tests: each rule has a fail fixture (must fire) and a
+//! pass fixture (must stay silent), scanned under synthetic workspace paths
+//! so the scoping logic is exercised too.
+
+use kkt_lint::config::Config;
+use kkt_lint::rules::{self, ExportMap};
+use kkt_lint::scanner::SourceFile;
+use std::path::Path;
+
+const TEST_CONFIG: &str = r#"
+[workspace]
+source-roots = ["crates"]
+exclude = []
+compat-root = "crates/compat"
+
+[rules.R1]
+paths = ["crates/fixture"]
+[rules.R2]
+exempt = ["crates/obs/src/profile.rs"]
+[rules.R3]
+files = ["crates/fixture/src/r3_float_cost.rs", "crates/fixture/src/r3_integer_cost.rs"]
+[rules.R4]
+paths = ["crates/fixture"]
+[rules.R5]
+paths = ["crates/fixture"]
+[rules.R6]
+shims = ["rand", "serde"]
+"#;
+
+fn config() -> Config {
+    Config::from_toml(TEST_CONFIG).unwrap()
+}
+
+fn exports() -> ExportMap {
+    ExportMap::default()
+        .with_module("rand", &["Rng", "SeedableRng", "rngs"])
+        .with_module("rand::rngs", &["StdRng"])
+        .with_module("serde", &["Serialize", "Deserialize", "Value"])
+}
+
+fn fixture(kind: &str, name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(kind).join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Scans fixture text as if it lived at `rel_path` and runs every rule.
+fn check(rel_path: &str, text: String) -> Vec<rules::Violation> {
+    let file = SourceFile::scan(rel_path, text);
+    rules::check_file(&file, &config(), &exports())
+}
+
+fn rules_fired(violations: &[rules::Violation]) -> Vec<&str> {
+    let mut fired: Vec<&str> = violations.iter().map(|v| v.rule).collect();
+    fired.sort_unstable();
+    fired.dedup();
+    fired
+}
+
+#[test]
+fn r1_fail_fixture_fires_and_pass_fixture_is_silent() {
+    let bad =
+        check("crates/fixture/src/r1_hash_iteration.rs", fixture("fail", "r1_hash_iteration.rs"));
+    assert_eq!(rules_fired(&bad), ["R1"], "{bad:?}");
+    assert!(bad.len() >= 2, "both the use and the type should fire: {bad:?}");
+    let good = check("crates/fixture/src/r1_ordered.rs", fixture("pass", "r1_ordered.rs"));
+    assert!(good.is_empty(), "{good:?}");
+}
+
+#[test]
+fn r1_is_scoped_to_configured_paths() {
+    let outside =
+        check("crates/elsewhere/src/r1_hash_iteration.rs", fixture("fail", "r1_hash_iteration.rs"));
+    assert!(outside.is_empty(), "out-of-scope crates are not fingerprinted: {outside:?}");
+}
+
+#[test]
+fn r2_fail_fixture_fires_and_pass_fixture_is_silent() {
+    let bad = check("crates/fixture/src/r2_wallclock.rs", fixture("fail", "r2_wallclock.rs"));
+    assert_eq!(rules_fired(&bad), ["R2"], "{bad:?}");
+    let good = check("crates/fixture/src/r2_no_clock.rs", fixture("pass", "r2_no_clock.rs"));
+    assert!(good.is_empty(), "{good:?}");
+}
+
+#[test]
+fn r2_exempts_the_profile_module() {
+    let exempt = check("crates/obs/src/profile.rs", fixture("fail", "r2_wallclock.rs"));
+    assert!(exempt.is_empty(), "the opt-in wall-clock module may read clocks: {exempt:?}");
+}
+
+#[test]
+fn r3_fail_fixture_fires_and_pass_fixture_is_silent() {
+    let bad = check("crates/fixture/src/r3_float_cost.rs", fixture("fail", "r3_float_cost.rs"));
+    assert_eq!(rules_fired(&bad), ["R3"], "{bad:?}");
+    assert!(
+        bad.iter().any(|v| v.message.contains("float literal")),
+        "the 1.5 literal should fire separately: {bad:?}"
+    );
+    let good =
+        check("crates/fixture/src/r3_integer_cost.rs", fixture("pass", "r3_integer_cost.rs"));
+    assert!(good.is_empty(), "ranges and tuple indices are not floats: {good:?}");
+}
+
+#[test]
+fn r4_fail_fixture_fires_and_pass_fixture_is_silent() {
+    let bad = check(
+        "crates/fixture/src/r4_unspanned_charge.rs",
+        fixture("fail", "r4_unspanned_charge.rs"),
+    );
+    assert_eq!(rules_fired(&bad), ["R4"], "{bad:?}");
+    assert_eq!(bad.len(), 2, "record_message and record_time both fire: {bad:?}");
+    let good =
+        check("crates/fixture/src/r4_spanned_charge.rs", fixture("pass", "r4_spanned_charge.rs"));
+    assert!(good.is_empty(), "in-span charges and record_message_in are fine: {good:?}");
+}
+
+#[test]
+fn r5_fail_fixture_fires_and_pass_fixture_is_silent() {
+    let bad =
+        check("crates/fixture/src/r5_thread_hazard.rs", fixture("fail", "r5_thread_hazard.rs"));
+    assert_eq!(rules_fired(&bad), ["R5"], "{bad:?}");
+    let messages: String = bad.iter().map(|v| v.message.as_str()).collect();
+    assert!(messages.contains("static mut"), "{bad:?}");
+    assert!(messages.contains("thread_rng"), "{bad:?}");
+    assert!(messages.contains("RefCell"), "{bad:?}");
+    let good = check("crates/fixture/src/r5_sync_state.rs", fixture("pass", "r5_sync_state.rs"));
+    assert!(good.is_empty(), "atomics and pure functions are thread-safe: {good:?}");
+}
+
+#[test]
+fn r6_fail_fixture_fires_and_pass_fixture_is_silent() {
+    let bad = check("crates/fixture/src/r6_shim_drift.rs", fixture("fail", "r6_shim_drift.rs"));
+    assert_eq!(rules_fired(&bad), ["R6"], "{bad:?}");
+    let messages: String = bad.iter().map(|v| v.message.as_str()).collect();
+    assert!(messages.contains("shadows a compat shim namespace"), "{bad:?}");
+    assert!(messages.contains("gen_range_checked"), "{bad:?}");
+    let good = check("crates/fixture/src/r6_shimmed_use.rs", fixture("pass", "r6_shimmed_use.rs"));
+    assert!(good.is_empty(), "shimmed-subset usage is fine: {good:?}");
+}
+
+#[test]
+fn test_files_are_exempt_from_code_rules() {
+    // The same R1 fail content under a tests/ directory is test-side code.
+    let under_tests =
+        check("crates/fixture/tests/r1_hash_iteration.rs", fixture("fail", "r1_hash_iteration.rs"));
+    assert!(under_tests.is_empty(), "{under_tests:?}");
+}

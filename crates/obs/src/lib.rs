@@ -56,8 +56,10 @@
 
 pub mod metrics;
 pub mod phase;
+pub mod profile;
 pub mod trace;
 
 pub use metrics::{Histogram, MetricsRegistry};
-pub use phase::{Phase, PhaseCost, PhaseLedger, PhaseProfile};
+pub use phase::{Phase, PhaseCost, PhaseLedger};
+pub use profile::PhaseProfile;
 pub use trace::{JsonlObserver, MetricsObserver, Observer, PhaseAccumulator, TraceRecord};

@@ -1,0 +1,72 @@
+//! Opt-in wall-clock profiling — the **only** module in the workspace that
+//! may traffic in wall-clock quantities.
+//!
+//! Everything else in the deterministic stack counts messages, bits and
+//! simulated time; seconds are machine noise and are *never* fingerprinted
+//! or serialised into sealed reports (the BENCH_PR4 discipline). Isolating
+//! the seconds here is what lets the `kkt-lint` R2/R3 rules state the
+//! invariant statically: no `std::time` clock reads and no float arithmetic
+//! anywhere in cost or fingerprint accounting, with this module as the one
+//! declared exemption.
+
+use crate::phase::Phase;
+use std::fmt;
+
+/// Opt-in wall-clock seconds per phase. Spans are timed *inclusively*: a
+/// nested span's seconds appear under both its own phase and every enclosing
+/// one, so rows are "time spent with this phase active", not a partition.
+/// Never serialised into sealed reports — seconds are machine noise.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseProfile {
+    seconds: [f64; Phase::COUNT],
+}
+
+impl PhaseProfile {
+    /// A zeroed profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds elapsed wall-clock seconds under `phase`.
+    pub fn add(&mut self, phase: Phase, seconds: f64) {
+        self.seconds[phase.index()] += seconds;
+    }
+
+    /// Accumulated seconds under `phase`.
+    pub fn seconds(&self, phase: Phase) -> f64 {
+        self.seconds[phase.index()]
+    }
+
+    /// Every `(phase, seconds)` pair in ledger order.
+    pub fn entries(&self) -> impl Iterator<Item = (Phase, f64)> + '_ {
+        Phase::ALL.into_iter().map(|p| (p, self.seconds[p.index()]))
+    }
+}
+
+impl fmt::Display for PhaseProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<16} {:>12}", "phase", "seconds")?;
+        for (phase, secs) in self.entries() {
+            if secs > 0.0 {
+                writeln!(f, "{:<16} {:>12.6}", phase.label(), secs)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_accumulates_but_is_not_serialisable() {
+        let mut profile = PhaseProfile::new();
+        profile.add(Phase::FindMinNarrow, 0.25);
+        profile.add(Phase::FindMinNarrow, 0.5);
+        assert!((profile.seconds(Phase::FindMinNarrow) - 0.75).abs() < 1e-12);
+        let shown = profile.to_string();
+        assert!(shown.contains("find_min_narrow"));
+        assert!(!shown.contains("announce"), "zero rows are suppressed");
+    }
+}
