@@ -513,7 +513,7 @@ pub fn exp10_batched_repair(scale: Scale, seed: u64) -> (Table, ChurnSuiteReport
         scheduler: params.scheduler,
         verify_every: params.verify_every,
         seed,
-        paranoid: false,
+        ..ReplayConfig::default()
     });
     let policies = [
         MaintenancePolicy::Impromptu,
@@ -630,7 +630,7 @@ pub fn exp11_scale_sweep(
             scheduler: params.scheduler,
             verify_every: params.verify_every,
             seed,
-            paranoid: false,
+            ..ReplayConfig::default()
         });
         scheduler = kkt_workloads::report::scheduler_label(params.scheduler);
         // Two regimes per rung: steady-state background churn, and the
@@ -791,7 +791,7 @@ pub fn exp12_wallclock(scale: Scale, seed: u64, only_n: Option<usize>) -> (Table
             scheduler: params.scheduler,
             verify_every: params.verify_every,
             seed,
-            paranoid: false,
+            ..ReplayConfig::default()
         });
         let scenario = MixedPhases::standard(params.max_weight);
         let workload = scenario.generate(&base, params.events, seed);
@@ -901,7 +901,7 @@ pub fn exp13_dynamic_density(
                 scheduler: params.scheduler,
                 verify_every: params.verify_every,
                 seed,
-                paranoid: false,
+                ..ReplayConfig::default()
             });
             scheduler = kkt_workloads::report::scheduler_label(params.scheduler);
             // The same two regimes as the scale sweep: steady background
@@ -1032,7 +1032,7 @@ pub fn exp14_cost_anatomy(
                 scheduler: params.scheduler,
                 verify_every: params.verify_every,
                 seed,
-                paranoid: false,
+                ..ReplayConfig::default()
             });
             scheduler = kkt_workloads::report::scheduler_label(params.scheduler);
             // The same two regimes as E13, so the anatomy decomposes exactly

@@ -55,11 +55,13 @@ impl Scale {
     /// Node counts for the dynamic-scenario scale sweep (E11): the sizes the
     /// `SuiteParams::scale_preset` ladder is tuned for. The quick tier stays
     /// CI-cheap; the large tier is the n ≥ 1024 regime the asymptotic claims
-    /// need (`KKT_EXP11_N` restricts a run to one rung).
+    /// need, extended to the n ∈ {16384, 65536} rungs the calendar-queue
+    /// engine unlocked (`KKT_EXP11_N` restricts a run to one rung, which is
+    /// how CI prices the big rungs under a wall-clock budget).
     pub fn scale_sweep_sizes(self) -> Vec<usize> {
         match self {
             Scale::Quick => vec![64, 256],
-            Scale::Large => vec![256, 1024, 4096],
+            Scale::Large => vec![256, 1024, 4096, 16384, 65536],
         }
     }
 

@@ -16,6 +16,22 @@
 //! every message to the network's [`crate::CostTracker`] using its semantic
 //! [`BitSized`] size and reports the makespan.
 //!
+//! # The hot loop
+//!
+//! Deliveries are driven by the O(1) calendar queue of [`crate::queue`]
+//! (both schedulers bound delays by a small integer, so a `max_delay + 1`
+//! tick wheel replaces the old `BinaryHeap` bit-for-bit — see that module's
+//! order-equivalence argument). Message payloads never move through the
+//! queue: they are interned in the run's [`crate::arena::PayloadArena`] at
+//! send time and travel as `u32` handles, and the queue, tick buffer,
+//! staging buffer and program-slot table are pooled in the network's
+//! [`EngineScratch`] across runs — steady-state delivery performs **zero
+//! heap allocation per message** (pinned by `tests/alloc_guard.rs`).
+//! Same-tick deliveries to the same node are batched into one program step
+//! (one program/view lookup amortized across the batch) while `on_message`
+//! still fires per message in exact `(time, seq)` order, so protocol
+//! semantics, RNG draw order, and costs are untouched.
+//!
 //! # Lazy instantiation
 //!
 //! A run is seeded with an explicit set of *initiators* (the nodes that know
@@ -26,18 +42,17 @@
 //! not to the whole network. This matters: `Build MST` runs thousands of
 //! broadcast-and-echoes on fragments of all sizes.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use kkt_graphs::NodeId;
 
+use crate::arena::PayloadArena;
 use crate::error::CongestError;
 use crate::message::BitSized;
 use crate::model::{Network, NetworkConfig, NodeView, ViewCache};
+use crate::queue::{DeliveryQueue, EventRec};
 
 /// Message-delivery timing model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -58,26 +73,44 @@ impl Scheduler {
             Scheduler::RandomAsync { max_delay } => rng.gen_range(1..=max_delay.max(1)),
         }
     }
+
+    /// The largest delay [`Scheduler::delay`] can return — the wheel width
+    /// the calendar queue sizes itself to.
+    pub(crate) fn max_delay_bound(&self) -> u64 {
+        match *self {
+            Scheduler::Synchronous => 1,
+            Scheduler::RandomAsync { max_delay } => max_delay.max(1),
+        }
+    }
 }
 
-/// Buffer of messages a node emits during one activation. The engine keeps
-/// one per run and drains it after every activation, so the staging vector's
-/// allocation is reused across the whole run instead of paid per message
-/// delivery.
+/// A staged (sent but not yet validated/scheduled) message: destination,
+/// arena handle of the payload, and its semantic size. Non-generic so the
+/// staging buffer can be pooled in [`EngineScratch`] across runs.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StagedMsg {
+    to: u32,
+    payload: u32,
+    bits: u64,
+}
+
+/// Buffer of messages a node emits during one activation. The engine drains
+/// it after every activation; the payload is interned in the run's arena at
+/// [`Outbox::send`] time and the staging vector itself is pooled across runs,
+/// so sending allocates nothing once the run's high-water marks are reached.
 #[derive(Debug)]
 pub struct Outbox<M> {
-    staged: Vec<(NodeId, M)>,
+    staged: Vec<StagedMsg>,
+    arena: PayloadArena<M>,
 }
 
-impl<M> Outbox<M> {
-    fn new() -> Self {
-        Outbox { staged: Vec::new() }
-    }
-
+impl<M: BitSized> Outbox<M> {
     /// Queues a message to the neighbour `to`. The engine validates that `to`
     /// really is adjacent to the sending node.
     pub fn send(&mut self, to: NodeId, msg: M) {
-        self.staged.push((to, msg));
+        let bits = msg.bit_size() as u64;
+        let payload = self.arena.insert(msg);
+        self.staged.push(StagedMsg { to: to as u32, payload, bits });
     }
 
     /// Number of messages staged so far in this activation.
@@ -132,59 +165,38 @@ pub struct RunStats {
     pub events: u64,
 }
 
-struct Event<M> {
-    time: u64,
-    seq: u64,
-    from: NodeId,
-    to: NodeId,
-    msg: M,
-}
-
-impl<M> PartialEq for Event<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<M> Eq for Event<M> {}
-impl<M> PartialOrd for Event<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Event<M> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse ordering so the BinaryHeap pops the earliest event first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
-    }
-}
-
 /// The per-node program states touched by a run.
 ///
 /// Index-addressed replacement for the old `HashMap<NodeId, P>` routing
-/// state: a dense `u32` slot table maps every node to a packed vector of
-/// activated programs, so the engine's per-delivery lookup is two array
-/// indexations instead of a hash. Program state (and the cached KT1 view the
-/// engine keeps alongside) is still materialised only for nodes that were
-/// actually activated — simulating an operation on a small fragment stays
-/// proportional to the fragment, the slot table costs one `memset` per run.
+/// state. During the run the engine routes through the pooled `u32` slot
+/// table in [`EngineScratch`] (two array indexations per delivery, no hash,
+/// no per-run `memset` — the table is repaired O(touched) at run end); the
+/// returned map carries the activation-ordered entries plus a small
+/// node-sorted index, so [`ProgramMap::get`] stays O(log touched) without
+/// borrowing engine state. Program state (and the cached KT1 view the engine
+/// keeps alongside) is still materialised only for nodes that were actually
+/// activated — simulating an operation on a small fragment stays
+/// proportional to the fragment.
 #[derive(Debug)]
 pub struct ProgramMap<P> {
-    slots: Vec<u32>,
     entries: Vec<(NodeId, P)>,
+    by_node: Vec<u32>,
 }
 
 const EMPTY_SLOT: u32 = u32::MAX;
 
 impl<P> ProgramMap<P> {
-    fn new(n: usize) -> Self {
-        ProgramMap { slots: vec![EMPTY_SLOT; n], entries: Vec::new() }
+    fn from_entries(entries: Vec<(NodeId, P)>) -> Self {
+        let mut by_node: Vec<u32> = (0..entries.len() as u32).collect();
+        by_node.sort_unstable_by_key(|&i| entries[i as usize].0);
+        ProgramMap { entries, by_node }
     }
 
     fn index_of(&self, node: NodeId) -> Option<usize> {
-        match self.slots.get(node) {
-            Some(&slot) if slot != EMPTY_SLOT => Some(slot as usize),
-            _ => None,
-        }
+        self.by_node
+            .binary_search_by_key(&node, |&i| self.entries[i as usize].0)
+            .ok()
+            .map(|pos| self.by_node[pos] as usize)
     }
 
     /// The program state of `node`, if it was activated during the run.
@@ -218,62 +230,163 @@ impl<P> ProgramMap<P> {
     }
 }
 
+/// Engine buffers pooled on the [`Network`] across runs (taken/restored
+/// around each run like the view cache): the delivery queue, the tick drain
+/// buffer, the outbox staging buffer, and the program-slot routing table.
+/// Everything non-generic lives here; only the run's payload arena and
+/// program entries (generic in the protocol) are per-run.
+///
+/// Invariants between runs: the queue is drained, the buffers are empty, and
+/// every slot-table entry is `EMPTY_SLOT` (repaired O(touched) at run end,
+/// so a small-fragment run never pays O(n) cleanup).
+#[derive(Debug, Default)]
+pub(crate) struct EngineScratch {
+    queue: DeliveryQueue,
+    tick: Vec<EventRec>,
+    staged: Vec<StagedMsg>,
+    slots: Vec<u32>,
+}
+
+impl EngineScratch {
+    fn begin_run(&mut self, n: usize, config: &NetworkConfig, initiators: usize) {
+        if self.slots.len() < n {
+            self.slots.resize(n, EMPTY_SLOT);
+        }
+        self.queue.prepare(config.scheduler, config.queue, initiators);
+    }
+
+    fn end_run(&mut self, touched: impl Iterator<Item = NodeId>) {
+        for x in touched {
+            self.slots[x] = EMPTY_SLOT;
+        }
+        self.tick.clear();
+        if !self.queue.is_empty() {
+            // Error runs abandon in-flight events; their payloads die with
+            // the run's arena.
+            self.queue.clear();
+        }
+    }
+}
+
 /// The simulation engine. Stateless; all state lives in the [`Network`] and
 /// the protocol instances.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Engine;
 
-/// One node activation: materialises the program on first touch, delivers
-/// `incoming` (or fires `on_start`), then drains the outbox into the event
-/// queue. A free function instead of a closure so the disjoint field borrows
-/// stay legible. Views are *borrowed* from the network's persistent
-/// [`ViewCache`] — the topology and markings are fixed for the duration of a
-/// run, and across runs the cache is invalidated per dirtied endpoint, so no
-/// per-run (let alone per-delivery) view rebuild happens at all.
-#[allow(clippy::too_many_arguments)]
-fn activate<P: Protocol>(
-    net: &Network,
-    config: &NetworkConfig,
-    programs: &mut ProgramMap<P>,
-    views: &mut ViewCache,
-    queue: &mut BinaryHeap<Event<P::Msg>>,
-    out: &mut Outbox<P::Msg>,
-    delay_rng: &mut StdRng,
-    seq: &mut u64,
+/// Routes `node` to its program index, materialising the program on first
+/// touch.
+fn touch<P>(
+    slots: &mut [u32],
+    entries: &mut Vec<(NodeId, P)>,
     make: &mut impl FnMut(NodeId) -> P,
     node: NodeId,
-    now: u64,
-    incoming: Option<(NodeId, P::Msg)>,
-) -> Result<(), CongestError> {
-    let idx = match programs.index_of(node) {
-        Some(idx) => idx,
-        None => {
-            let idx = programs.entries.len();
-            programs.slots[node] = idx as u32;
-            programs.entries.push((node, make(node)));
-            idx
-        }
-    };
-    let view: &NodeView = views.get_or_build(net, node);
-    let program = &mut programs.entries[idx].1;
-    match incoming {
-        None => program.on_start(view, out),
-        Some((from, msg)) => program.on_message(from, msg, view, out),
+) -> usize {
+    let slot = slots[node];
+    if slot != EMPTY_SLOT {
+        return slot as usize;
     }
-    for (to, msg) in out.staged.drain(..) {
+    let idx = entries.len();
+    slots[node] = idx as u32;
+    entries.push((node, make(node)));
+    idx
+}
+
+/// Validates, delays and schedules everything the activation just staged.
+/// Exact staged order: neighbour check, then bandwidth, then one RNG draw
+/// per message — the observable error precedence and delay stream.
+fn drain_staged<M>(
+    out: &mut Outbox<M>,
+    view: &NodeView,
+    config: &NetworkConfig,
+    queue: &mut DeliveryQueue,
+    delay_rng: &mut StdRng,
+    seq: &mut u64,
+    now: u64,
+) -> Result<(), CongestError> {
+    for staged in out.staged.drain(..) {
+        let to = staged.to as NodeId;
         if view.edge_to(to).is_none() {
-            return Err(CongestError::NotANeighbor { from: node, to });
+            return Err(CongestError::NotANeighbor { from: view.node, to });
         }
-        let bits = msg.bit_size();
         if let Some(limit) = config.bandwidth_limit {
-            if bits > limit {
-                return Err(CongestError::BandwidthExceeded { bits, limit });
+            if staged.bits as usize > limit {
+                return Err(CongestError::BandwidthExceeded { bits: staged.bits as usize, limit });
             }
         }
         let delay = config.scheduler.delay(delay_rng);
         *seq += 1;
-        queue.push(Event { time: now + delay, seq: *seq, from: node, to, msg });
+        queue.push(
+            now + delay,
+            EventRec {
+                seq: *seq,
+                bits: staged.bits,
+                from: view.node as u32,
+                to: staged.to,
+                payload: staged.payload,
+            },
+        );
     }
+    Ok(())
+}
+
+/// The run body: start the initiators, then drain the queue tick by tick,
+/// batching same-tick deliveries to the same node under one program/view
+/// lookup. Split out of [`Engine::run_session`] so the setup/cleanup there
+/// runs on the error paths too.
+#[allow(clippy::too_many_arguments)]
+fn run_core<P: Protocol>(
+    net: &mut Network,
+    config: &NetworkConfig,
+    views: &mut ViewCache,
+    scratch: &mut EngineScratch,
+    entries: &mut Vec<(NodeId, P)>,
+    out: &mut Outbox<P::Msg>,
+    delay_rng: &mut StdRng,
+    stats: &mut RunStats,
+    initiators: &[NodeId],
+    make: &mut impl FnMut(NodeId) -> P,
+) -> Result<(), CongestError> {
+    let n = net.node_count();
+    let mut seq = 0u64;
+    for &x in initiators {
+        if x >= n {
+            return Err(CongestError::InvalidNode(x));
+        }
+        let idx = touch(&mut scratch.slots, entries, make, x);
+        let view = views.get_or_build(net, x);
+        entries[idx].1.on_start(view, out);
+        drain_staged(out, view, config, &mut scratch.queue, delay_rng, &mut seq, 0)?;
+    }
+
+    while let Some(now) = scratch.queue.take_tick(&mut scratch.tick) {
+        let mut i = 0;
+        while i < scratch.tick.len() {
+            // One program/view lookup for the whole run of same-node
+            // deliveries within this tick; `on_message` still fires per
+            // message in `(time, seq)` order.
+            let node = scratch.tick[i].to as NodeId;
+            let idx = touch(&mut scratch.slots, entries, make, node);
+            let view = views.get_or_build(net, node);
+            while i < scratch.tick.len() && scratch.tick[i].to as NodeId == node {
+                let rec = scratch.tick[i];
+                i += 1;
+                stats.events += 1;
+                if stats.events > config.event_limit {
+                    return Err(CongestError::EventLimitExceeded(config.event_limit));
+                }
+                stats.messages += 1;
+                let bits = rec.bits;
+                stats.bits += bits;
+                stats.makespan = stats.makespan.max(now);
+                net.cost_mut().record_message(bits);
+                let msg = out.arena.take(rec.payload);
+                entries[idx].1.on_message(rec.from as NodeId, msg, view, out);
+                drain_staged(out, view, config, &mut scratch.queue, delay_rng, &mut seq, now)?;
+            }
+        }
+    }
+
+    net.cost_mut().record_time(stats.makespan);
     Ok(())
 }
 
@@ -294,87 +407,56 @@ impl Engine {
         initiators: &[NodeId],
         make: impl FnMut(NodeId) -> P,
     ) -> Result<(ProgramMap<P>, RunStats), CongestError> {
-        // Detach the view cache so activations can borrow views while the
-        // run loop charges costs to the network; restore it afterwards (on
-        // errors too — a failed run leaves the cache intact and coherent,
-        // since runs never mutate topology or markings).
+        // Detach the view cache and the engine scratch so activations can
+        // borrow views while the run loop charges costs to the network;
+        // restore both afterwards (on errors too — a failed run leaves the
+        // cache intact and coherent, since runs never mutate topology or
+        // markings, and the scratch is cleaned on every exit path).
         let mut views = net.take_view_cache();
-        let result = Self::run_with_views(net, &mut views, initiators, make);
+        let mut scratch = net.take_engine_scratch();
+        let result = Self::run_session(net, &mut views, &mut scratch, initiators, make);
+        net.restore_engine_scratch(scratch);
         net.restore_view_cache(views);
         result
     }
 
-    fn run_with_views<P: Protocol>(
+    fn run_session<P: Protocol>(
         net: &mut Network,
         views: &mut ViewCache,
+        scratch: &mut EngineScratch,
         initiators: &[NodeId],
         mut make: impl FnMut(NodeId) -> P,
     ) -> Result<(ProgramMap<P>, RunStats), CongestError> {
-        let n = net.node_count();
         let config = net.config();
         // Delivery delays come from a run-local RNG derived from the network
         // RNG so runs are reproducible and do not fight the borrow checker for
         // access to `net` mid-activation.
         let mut delay_rng = StdRng::seed_from_u64(net.rng_mut().gen());
-        let mut programs: ProgramMap<P> = ProgramMap::new(n);
-        // Pre-size the event heap: a broadcast-style wave keeps at most one
-        // in-flight message per tree edge of the touched fragments, so a few
-        // slots per initiator avoids the early doubling re-allocations
-        // without over-committing for small-fragment runs.
-        let mut queue: BinaryHeap<Event<P::Msg>> =
-            BinaryHeap::with_capacity((initiators.len() * 4).clamp(64, 4 * n.max(16)));
-        let mut out = Outbox::new();
-        let mut seq = 0u64;
+        scratch.begin_run(net.node_count(), &config, initiators.len());
+        let mut out: Outbox<P::Msg> =
+            Outbox { staged: std::mem::take(&mut scratch.staged), arena: PayloadArena::new() };
+        let mut entries: Vec<(NodeId, P)> = Vec::new();
         let mut stats = RunStats::default();
 
-        for &x in initiators {
-            if x >= n {
-                return Err(CongestError::InvalidNode(x));
-            }
-            activate(
-                net,
-                &config,
-                &mut programs,
-                views,
-                &mut queue,
-                &mut out,
-                &mut delay_rng,
-                &mut seq,
-                &mut make,
-                x,
-                0,
-                None,
-            )?;
-        }
+        let core = run_core(
+            net,
+            &config,
+            views,
+            scratch,
+            &mut entries,
+            &mut out,
+            &mut delay_rng,
+            &mut stats,
+            initiators,
+            &mut make,
+        );
 
-        while let Some(ev) = queue.pop() {
-            stats.events += 1;
-            if stats.events > config.event_limit {
-                return Err(CongestError::EventLimitExceeded(config.event_limit));
-            }
-            stats.messages += 1;
-            let bits = ev.msg.bit_size() as u64;
-            stats.bits += bits;
-            stats.makespan = stats.makespan.max(ev.time);
-            net.cost_mut().record_message(bits);
-            activate(
-                net,
-                &config,
-                &mut programs,
-                views,
-                &mut queue,
-                &mut out,
-                &mut delay_rng,
-                &mut seq,
-                &mut make,
-                ev.to,
-                ev.time,
-                Some((ev.from, ev.msg)),
-            )?;
-        }
-
-        net.cost_mut().record_time(stats.makespan);
-        Ok((programs, stats))
+        // Hand the staging buffer's capacity back to the pool and restore the
+        // slot-table invariant, then surface the run's outcome.
+        out.staged.clear();
+        scratch.staged = std::mem::take(&mut out.staged);
+        scratch.end_run(entries.iter().map(|&(x, _)| x));
+        core.map(|()| (ProgramMap::from_entries(entries), stats))
     }
 
     /// Convenience wrapper for protocols in which *every* node is an
@@ -601,5 +683,57 @@ mod tests {
         let mut network = net(5, 0.5, 2);
         let err = Engine::run(&mut network, &[77], |_| CountTokens { received: 0 }).unwrap_err();
         assert!(matches!(err, CongestError::InvalidNode(77)));
+    }
+
+    #[test]
+    fn runs_after_an_error_run_are_clean() {
+        // An error run abandons in-flight events in the pooled scratch; the
+        // next run on the same network must start from a drained queue and a
+        // pristine slot table.
+        #[derive(Debug)]
+        struct FloodThenDie;
+        impl Protocol for FloodThenDie {
+            type Msg = u8;
+            type Output = ();
+            fn on_start(&mut self, view: &NodeView, out: &mut Outbox<u8>) {
+                for e in &view.incident {
+                    out.send(e.neighbor, 1);
+                }
+            }
+            fn on_message(&mut self, from: NodeId, _: u8, _: &NodeView, out: &mut Outbox<u8>) {
+                out.send(from, 2);
+            }
+        }
+        let mut network = net(12, 0.4, 4);
+        // Trip the event limit mid-flood, leaving events in flight.
+        let mut tight = network.config();
+        tight.event_limit = 5;
+        network.set_config(tight);
+        let err = Engine::run_all(&mut network, |_| FloodThenDie).unwrap_err();
+        assert!(matches!(err, CongestError::EventLimitExceeded(5)));
+        // Back to a normal config: the next run must see none of the
+        // abandoned events and count exactly its own messages.
+        let mut normal = network.config();
+        normal.event_limit = NetworkConfig::default().event_limit;
+        network.set_config(normal);
+        let m = network.edge_count() as u64;
+        let (_, stats) = Engine::run_all(&mut network, |_| CountTokens { received: 0 }).unwrap();
+        assert_eq!(stats.messages, 2 * m);
+        assert_eq!(stats.makespan, 1);
+    }
+
+    #[test]
+    fn program_map_lookup_matches_iteration() {
+        let mut network = net(40, 0.15, 6);
+        let (programs, _) = Engine::run_all(&mut network, |_| CountTokens { received: 0 }).unwrap();
+        assert_eq!(programs.len(), 40);
+        for (node, p) in programs.iter() {
+            assert_eq!(
+                programs.get(node).map(|q| q.received),
+                Some(p.received),
+                "sorted-index get agrees with activation-order iteration"
+            );
+        }
+        assert!(programs.get(usize::MAX - 1).is_none());
     }
 }

@@ -47,6 +47,7 @@
 //! assert!(net.cost().messages > 0);
 //! ```
 
+pub mod arena;
 pub mod broadcast_echo;
 pub mod cost;
 pub mod engine;
@@ -56,6 +57,7 @@ pub mod forest;
 pub mod leader;
 pub mod message;
 pub mod model;
+pub mod queue;
 
 pub use cost::{CostReport, CostTracker, PhaseTable};
 pub use engine::{Engine, Protocol, RunStats, Scheduler};
@@ -64,3 +66,4 @@ pub use forest::MarkedForest;
 pub use kkt_obs::{Histogram, MetricsRegistry, Phase, PhaseCost, PhaseLedger, PhaseProfile};
 pub use message::{bits_for_value, BitSized};
 pub use model::{IncidentEdge, Network, NetworkConfig, NodeView};
+pub use queue::DeliveryQueueKind;

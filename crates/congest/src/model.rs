@@ -33,9 +33,10 @@ use kkt_graphs::{EdgeId, EdgeNumber, Graph, NodeId, UniqueWeight, Weight};
 use kkt_obs::{MetricsRegistry, Phase, PhaseLedger, PhaseProfile};
 
 use crate::cost::{CostReport, CostTracker};
-use crate::engine::Scheduler;
+use crate::engine::{EngineScratch, Scheduler};
 use crate::forest::MarkedForest;
 use crate::message::bits_for_value;
+use crate::queue::DeliveryQueueKind;
 
 /// Simulation configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -50,6 +51,10 @@ pub struct NetworkConfig {
     pub seed: u64,
     /// Safety cap on delivered events per engine run.
     pub event_limit: u64,
+    /// Delivery-queue implementation (execution strategy only — the choice is
+    /// invisible to delivery order, costs, and fingerprints; see
+    /// [`DeliveryQueueKind`]).
+    pub queue: DeliveryQueueKind,
 }
 
 impl Default for NetworkConfig {
@@ -59,6 +64,7 @@ impl Default for NetworkConfig {
             bandwidth_limit: None,
             seed: 0xC0FFEE,
             event_limit: 50_000_000,
+            queue: DeliveryQueueKind::Auto,
         }
     }
 }
@@ -236,6 +242,9 @@ pub struct Network {
     rng: StdRng,
     id_bits: u32,
     views: ViewCache,
+    /// Pooled engine buffers (delivery queue, tick/staging buffers, program
+    /// slot table), reused across runs like the view cache.
+    scratch: EngineScratch,
     /// Opt-in metrics registry (None ⇒ zero overhead, nothing recorded).
     metrics: Option<Box<MetricsRegistry>>,
     /// Opt-in wall-clock profile per phase (None ⇒ spans never read a clock).
@@ -257,6 +266,7 @@ impl Network {
             rng,
             id_bits,
             views,
+            scratch: EngineScratch::default(),
             metrics: None,
             profile: None,
         }
@@ -486,6 +496,18 @@ impl Network {
     /// Re-attaches the view cache after an engine run.
     pub(crate) fn restore_view_cache(&mut self, views: ViewCache) {
         self.views = views;
+    }
+
+    /// Detaches the pooled engine buffers for the duration of a run (same
+    /// contract as [`Network::take_view_cache`]).
+    pub(crate) fn take_engine_scratch(&mut self) -> EngineScratch {
+        std::mem::take(&mut self.scratch)
+    }
+
+    /// Re-attaches the engine buffers after a run, keeping their grown
+    /// capacities for the next one.
+    pub(crate) fn restore_engine_scratch(&mut self, scratch: EngineScratch) {
+        self.scratch = scratch;
     }
 
     /// The set of marked edges as a spanning-forest snapshot, for comparison

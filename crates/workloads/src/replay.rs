@@ -17,7 +17,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use kkt_baselines::{build_mst_ghs, build_st_by_flooding};
-use kkt_congest::{CongestError, CostReport, Network, NetworkConfig, PhaseLedger, Scheduler};
+use kkt_congest::{
+    CongestError, CostReport, DeliveryQueueKind, Network, NetworkConfig, PhaseLedger, Scheduler,
+};
 use kkt_core::{
     build_mst, build_st, BatchError, CoreError, DeleteOutcome, InsertOutcome, KktConfig,
     MaintainOptions, MaintainedForest, TreeKind, UpdateOutcome,
@@ -111,6 +113,10 @@ pub struct ReplayConfig {
     /// Costs what the pre-oracle harness paid on every checkpoint; off by
     /// default.
     pub paranoid: bool,
+    /// Delivery-queue implementation for every engine run of the replay
+    /// (execution strategy only; reports are bit-identical either way —
+    /// asserted by the queue-equivalence tests).
+    pub queue: DeliveryQueueKind,
 }
 
 impl Default for ReplayConfig {
@@ -121,6 +127,7 @@ impl Default for ReplayConfig {
             verify_every: 1,
             seed: 0x5EED,
             paranoid: false,
+            queue: DeliveryQueueKind::Auto,
         }
     }
 }
@@ -343,6 +350,7 @@ impl ReplayHarness {
             build_scheduler: Scheduler::Synchronous,
             repair_scheduler: self.config.scheduler,
             seed: self.config.seed,
+            queue: self.config.queue,
         };
         let mut forest = MaintainedForest::build(base.clone(), self.config.kind, options)?;
         let mut report = self.report_skeleton(base, workload, policy);
@@ -416,7 +424,12 @@ impl ReplayHarness {
             MaintenancePolicy::RebuildGhs => Scheduler::Synchronous,
             _ => self.config.scheduler,
         };
-        net.reset(NetworkConfig { scheduler, seed, ..NetworkConfig::default() });
+        net.reset(NetworkConfig {
+            scheduler,
+            seed,
+            queue: self.config.queue,
+            ..NetworkConfig::default()
+        });
         let mut rng = StdRng::seed_from_u64(seed ^ 0xD15E_A5E0);
         match (policy, self.config.kind) {
             (MaintenancePolicy::RebuildKkt, TreeKind::Mst) => {

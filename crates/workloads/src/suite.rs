@@ -107,12 +107,18 @@ impl SuiteParams {
     }
 
     /// The `KKT_SCALE=large` presets of the scale sweeps (exp9, exp11),
-    /// tuned for n ∈ {256, 1024, 4096}: density stays at the default ratio
-    /// while the event budget and checkpoint interval taper with `n`, so a
-    /// single scenario stays inside a CI-sized wall-clock at n = 1024 and
-    /// above.
+    /// tuned for n ∈ {256, 1024, 4096, 16384, 65536}: density stays at the
+    /// default ratio while the event budget and checkpoint interval taper
+    /// with `n`, so a single scenario stays inside a CI-sized wall-clock at
+    /// n = 1024 and above. The n ≥ 16384 rungs shrink the event budget
+    /// further and keep the final-event-only checkpointing — at that size a
+    /// single oracle verification is already Θ(m) work.
     pub fn scale_preset(n: usize) -> Self {
-        let (events, verify_every) = if n >= 4096 {
+        let (events, verify_every) = if n >= 65536 {
+            (4, 0)
+        } else if n >= 16384 {
+            (6, 0)
+        } else if n >= 4096 {
             (8, 0) // final-event checkpoint only
         } else if n >= 1024 {
             (12, 6)
@@ -168,7 +174,7 @@ pub fn run_churn_suite(params: &SuiteParams) -> Result<ChurnSuiteReport, ReplayE
         scheduler: params.scheduler,
         verify_every: params.verify_every,
         seed: params.seed,
-        paranoid: false,
+        ..ReplayConfig::default()
     });
     let mut scenarios = Vec::new();
     for scenario in standard_suite(params.max_weight) {
@@ -241,14 +247,20 @@ mod tests {
 
     #[test]
     fn scale_presets_taper_with_n() {
-        let p256 = SuiteParams::scale_preset(256);
-        let p1024 = SuiteParams::scale_preset(1024);
-        let p4096 = SuiteParams::scale_preset(4096);
-        for p in [&p256, &p1024, &p4096] {
+        let rungs: Vec<SuiteParams> =
+            [256, 1024, 4096, 16384, 65536].map(SuiteParams::scale_preset).into();
+        for p in &rungs {
             assert_eq!(p.m, 4 * p.n, "presets keep the density ratio");
         }
-        assert!(p256.events >= p1024.events && p1024.events >= p4096.events);
-        assert_eq!(p4096.verify_every, 0, "largest preset checkpoints the final event only");
+        assert!(rungs.windows(2).all(|w| w[0].events >= w[1].events), "event budgets taper");
+        for p in &rungs[2..] {
+            assert_eq!(p.verify_every, 0, "n ≥ 4096 checkpoints the final event only");
+        }
+        // The pre-PR-9 rungs are frozen: the taper extension must not move
+        // any historical preset (byte-compat of exp9/exp11 JSON).
+        assert_eq!((rungs[0].events, rungs[0].verify_every), (16, 4));
+        assert_eq!((rungs[1].events, rungs[1].verify_every), (12, 6));
+        assert_eq!((rungs[2].events, rungs[2].verify_every), (8, 0));
     }
 
     #[test]

@@ -73,7 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             scheduler: mst.scheduler,
             verify_every: mst.verify_every,
             seed: mst.seed,
-            paranoid: false,
+            ..ReplayConfig::default()
         });
         println!("\n== phase anatomy of {} (KKT_TRACE=1)", workload.scenario);
         for policy in MaintenancePolicy::all_for(mst.kind) {

@@ -1,0 +1,58 @@
+//! End-to-end queue equivalence: a full churn replay through the facade is
+//! **byte-identical** whether the engine delivers through the calendar wheel
+//! or the reference `BinaryHeap`.
+//!
+//! The unit-level differential sweep (`crates/congest/tests/
+//! queue_differential.rs`) proves the two queues agree on a single engine
+//! run; this test proves the agreement survives the whole maintained-MST
+//! stack — build, repair, rebuild, oracle checkpoints, cost fingerprints —
+//! by serialising the [`ReplayReport`]s and comparing the JSON text.
+
+use kkt::congest::{DeliveryQueueKind, Scheduler};
+use kkt::graphs::{generators, Graph};
+use kkt::workloads::{
+    MaintenancePolicy, MixedPhases, PoissonChurn, ReplayConfig, ReplayHarness, Scenario,
+};
+use kkt::TreeKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn base_graph(seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generators::connected_with_edges(32, 128, 800, &mut rng)
+}
+
+fn replay_json(queue: DeliveryQueueKind, kind: TreeKind, scheduler: Scheduler) -> String {
+    let g = base_graph(11);
+    let scenario: Box<dyn Scenario> = match kind {
+        TreeKind::Mst => Box::new(MixedPhases::standard(800)),
+        TreeKind::St => Box::new(PoissonChurn::default()),
+    };
+    let w = scenario.generate(&g, 12, 21);
+    let harness = ReplayHarness::new(ReplayConfig {
+        kind,
+        scheduler,
+        verify_every: 3,
+        queue,
+        ..ReplayConfig::default()
+    });
+    let mut reports = Vec::new();
+    for policy in MaintenancePolicy::all_for(kind) {
+        reports.push(harness.replay(&g, &w, policy).expect("replay completes"));
+    }
+    serde_json::to_string_pretty(&reports).unwrap()
+}
+
+#[test]
+fn replay_reports_are_byte_identical_across_queue_kinds() {
+    for kind in [TreeKind::Mst, TreeKind::St] {
+        for scheduler in [Scheduler::Synchronous, Scheduler::RandomAsync { max_delay: 8 }] {
+            let wheel = replay_json(DeliveryQueueKind::Auto, kind, scheduler);
+            let heap = replay_json(DeliveryQueueKind::ForceHeap, kind, scheduler);
+            assert_eq!(
+                wheel, heap,
+                "{kind:?}/{scheduler:?}: wheel and heap replays must serialise identically"
+            );
+        }
+    }
+}
