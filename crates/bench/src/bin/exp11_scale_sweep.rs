@@ -18,7 +18,7 @@ use kkt_bench::Scale;
 
 fn main() {
     let scale = Scale::from_env();
-    let seed = std::env::var("KKT_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0xFEED);
+    let seed = kkt_bench::seed_from_env();
     let only_n = std::env::var("KKT_EXP11_N").ok().and_then(|s| s.parse().ok());
     let (table, report) = experiments::exp11_scale_sweep(scale, seed, only_n);
     eprintln!("{table}");

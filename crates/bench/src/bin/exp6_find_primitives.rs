@@ -9,7 +9,7 @@ use kkt_bench::Scale;
 
 fn main() {
     let scale = Scale::from_env();
-    let seed = std::env::var("KKT_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0xFEED);
+    let seed = kkt_bench::seed_from_env();
     let table = experiments::exp6_find_primitives(scale, seed);
     println!("{table}");
 }

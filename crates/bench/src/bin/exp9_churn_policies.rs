@@ -13,7 +13,7 @@ use kkt_bench::Scale;
 
 fn main() {
     let scale = Scale::from_env();
-    let seed = std::env::var("KKT_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0xFEED);
+    let seed = kkt_bench::seed_from_env();
     let (table, report) = experiments::exp9_churn_policies(scale, seed);
     eprintln!("{table}");
     println!("{}", serde_json::to_string_pretty(&report).expect("report serialises"));

@@ -1136,6 +1136,78 @@ pub fn exp14_cost_anatomy(
     (table, report)
 }
 
+/// E16 — the seed fleet: every headline number re-priced as a
+/// *distribution*. The (policy × rung × density × scenario) grid of the E13
+/// crossover and the E11/E15 scaling regime is replayed under ≥ 32 mixed
+/// seeds per cell ([`crate::fleet::mix_seed`] over the seed ordinal, so the
+/// seed set is stable under grid reordering), sharded across `threads`
+/// scoped workers, and merged in deterministic grid order — the sealed
+/// report is byte-identical for any thread count. Each cell carries the
+/// production framing: integer-exact mean ± 95% CI (micro-unit fixed
+/// point) plus p50/p99/max tails of repair *rounds*, bits and messages per
+/// event, reported like an SLO; no float reaches a fingerprinted field.
+///
+/// `only_n` restricts the sweep to one size rung (the `KKT_EXP16_N`
+/// environment variable in the binary) — CI runs the quick preset twice at
+/// 2 threads inside a wall-clock budget and asserts byte-identical reports
+/// against a 1-thread run.
+///
+/// Returns the printable table *and* the sealed deterministic JSON report.
+pub fn exp16_seed_fleet(
+    scale: Scale,
+    seed: u64,
+    only_n: Option<usize>,
+    threads: usize,
+) -> (Table, crate::fleet::FleetReport) {
+    let params = match scale {
+        Scale::Quick => crate::fleet::FleetParams::quick(seed),
+        Scale::Large => crate::fleet::FleetParams::large(seed),
+    }
+    .restrict_to(only_n);
+    // An unmatched restriction must fail loudly, not emit an empty report
+    // the CI byte-compare would green-light (same guard as exp11–exp14).
+    assert!(
+        !params.rungs.is_empty(),
+        "KKT_EXP16_N={only_n:?} matches no rung of the {scale:?} fleet grid"
+    );
+    let report = crate::fleet::run_replay_fleet(&params, threads);
+
+    let mut table = Table::new(
+        "E16: seed fleet — per-event distributions across ≥ 32 seeds, mean±CI95 and tail SLOs",
+        &[
+            "n",
+            "m/n",
+            "scenario",
+            "policy",
+            "seeds",
+            "rounds(mean±ci)",
+            "rounds p99",
+            "bits/ev(mean±ci)",
+            "bits p50",
+            "bits p99",
+            "bits max",
+            "checkpoints",
+        ],
+    );
+    for cell in &report.cells {
+        table.push_row(vec![
+            cell.n.to_string(),
+            cell.density.clone(),
+            cell.scenario.clone(),
+            cell.policy.clone(),
+            cell.rounds.seeds.to_string(),
+            cell.rounds.mean_ci_display(),
+            cell.rounds.p99.to_string(),
+            cell.bits.mean_ci_display(),
+            cell.bits.p50.to_string(),
+            cell.bits.p99.to_string(),
+            cell.bits.max.to_string(),
+            cell.checkpoints_verified.to_string(),
+        ]);
+    }
+    (table, report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

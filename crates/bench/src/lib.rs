@@ -11,11 +11,26 @@
 //! numbers in `EXPERIMENTS.md` were recorded with.
 
 pub mod experiments;
+pub mod fleet;
 pub mod stats;
 pub mod table;
 
-pub use stats::{Percentiles, Summary};
+pub use fleet::{mix_seed, run_fleet, threads_from_env, FleetPanic};
+pub use stats::{ExactSummary, Percentiles, SloSummary, Summary};
 pub use table::Table;
+
+/// The workspace-wide base seed every experiment falls back to when
+/// `KKT_SEED` is unset. Hoisted here so the fleet's base seed cannot
+/// silently diverge across binaries (each bin used to re-parse the variable
+/// with its own hard-coded fallback).
+pub const DEFAULT_SEED: u64 = 0xFEED;
+
+/// Reads the base seed from `KKT_SEED`, falling back to [`DEFAULT_SEED`].
+/// Every `exp*` binary and the fleet runner resolve their seed through this
+/// one helper.
+pub fn seed_from_env() -> u64 {
+    std::env::var("KKT_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SEED)
+}
 
 /// Sweep sizes for the experiment binaries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

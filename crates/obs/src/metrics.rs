@@ -94,6 +94,21 @@ impl Histogram {
         self.max
     }
 
+    /// Folds another histogram into this one. Both must use the same bucket
+    /// bounds — merging across resolutions would silently re-bucket. The
+    /// merge is commutative and associative (per-bucket sums, exact max), so
+    /// per-seed histograms produced by parallel fleet workers fold into the
+    /// same cross-seed tail no matter the merge order.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "histogram merge requires identical bounds");
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
     /// Median readout (bucket-resolution).
     pub fn p50(&self) -> u64 {
         self.quantile(0.50)
@@ -209,6 +224,25 @@ impl MetricsRegistry {
         self.histograms.iter().map(|(k, v)| (k.as_str(), v))
     }
 
+    /// Folds another registry into this one: counters add, histograms merge
+    /// (histograms present on only one side are cloned in; shared names must
+    /// use identical bounds, as in [`Histogram::merge`]). With the per-name
+    /// `BTreeMap` backing, folding per-worker registries in any order yields
+    /// identical state — the cross-seed aggregation path of the fleet runner.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, &v) in other.counters.iter() {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, h) in other.histograms.iter() {
+            match self.histograms.entry(name.clone()) {
+                std::collections::btree_map::Entry::Occupied(mut e) => e.get_mut().merge(h),
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(h.clone());
+                }
+            }
+        }
+    }
+
     /// True when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.histograms.is_empty()
@@ -278,6 +312,63 @@ mod tests {
         assert_eq!(counter_names, ["alpha", "zeta"]);
         let histogram_names: Vec<&str> = m.histograms().map(|(k, _)| k).collect();
         assert_eq!(histogram_names, ["inner", "outer"]);
+    }
+
+    #[test]
+    fn histogram_merge_equals_single_stream() {
+        // A sample stream split across two producers and merged must be
+        // bit-identical to the same stream recorded into one histogram —
+        // in either merge order (the fleet's cross-seed tail invariant).
+        let bounds = [1u64, 4, 16, 64, 256];
+        let samples = [1u64, 3, 9, 40, 300, 2, 17, 64, 0, 5];
+        let mut whole = Histogram::with_bounds(&bounds);
+        let mut left = Histogram::with_bounds(&bounds);
+        let mut right = Histogram::with_bounds(&bounds);
+        for (i, &v) in samples.iter().enumerate() {
+            whole.record(v);
+            if i % 2 == 0 { &mut left } else { &mut right }.record(v);
+        }
+        let mut lr = left.clone();
+        lr.merge(&right);
+        let mut rl = right.clone();
+        rl.merge(&left);
+        assert_eq!(lr, whole);
+        assert_eq!(rl, whole);
+        assert_eq!(lr.p99(), whole.p99());
+        assert_eq!(lr.max(), 300);
+        // Merging an empty histogram is the identity.
+        lr.merge(&Histogram::with_bounds(&bounds));
+        assert_eq!(lr, whole);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical bounds")]
+    fn histogram_merge_rejects_mismatched_bounds() {
+        let mut a = Histogram::with_bounds(&[1, 2, 4]);
+        a.merge(&Histogram::with_bounds(&[1, 2, 8]));
+    }
+
+    #[test]
+    fn registry_merge_folds_counters_and_histograms() {
+        let bounds = [10u64, 100];
+        let mut a = MetricsRegistry::new();
+        a.add("events", 3);
+        a.observe("bits", &bounds, 7);
+        a.observe("only_a", &bounds, 1);
+        let mut b = MetricsRegistry::new();
+        b.add("events", 2);
+        b.inc("only_b");
+        b.observe("bits", &bounds, 70);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "registry merge is order-independent");
+        assert_eq!(ab.counter("events"), 5);
+        assert_eq!(ab.counter("only_b"), 1);
+        assert_eq!(ab.histogram("bits").unwrap().count(), 2);
+        assert_eq!(ab.histogram("bits").unwrap().max(), 70);
+        assert_eq!(ab.histogram("only_a").unwrap().count(), 1);
     }
 
     #[test]

@@ -138,6 +138,15 @@ impl SuiteParams {
         SuiteParams { m: density.target_edges(n), ..Self::scale_preset(n) }
     }
 
+    /// The same parameters replayed under a different master seed — the
+    /// per-cell plumbing of the seed-fleet runner, where every (rung,
+    /// density) preset is instantiated once per mixed seed. A builder method
+    /// (rather than struct-update syntax at each call site) so fleet cells
+    /// cannot accidentally override anything but the seed.
+    pub fn with_seed(self, seed: u64) -> Self {
+        SuiteParams { seed, ..self }
+    }
+
     /// The deterministic base graph of the run.
     ///
     /// Sparse budgets use the rejection-sampling builder
@@ -261,6 +270,28 @@ mod tests {
         assert_eq!((rungs[0].events, rungs[0].verify_every), (16, 4));
         assert_eq!((rungs[1].events, rungs[1].verify_every), (12, 6));
         assert_eq!((rungs[2].events, rungs[2].verify_every), (8, 0));
+    }
+
+    #[test]
+    fn with_seed_changes_only_the_seed() {
+        let p = SuiteParams::density_preset(64, Density::Ratio(8));
+        let q = p.with_seed(0xABCD);
+        assert_eq!(q.seed, 0xABCD);
+        assert_eq!((q.n, q.m, q.events, q.verify_every), (p.n, p.m, p.events, p.verify_every));
+        assert_eq!(q.max_weight, p.max_weight);
+        // Different seeds must actually produce different base graphs (the
+        // whole point of a seed fleet) while keeping the same shape targets.
+        let (a, b) = (p.base_graph(), q.base_graph());
+        assert_eq!(a.node_count(), b.node_count());
+        let edges = |g: &Graph| {
+            g.live_edges()
+                .map(|id| {
+                    let e = g.edge(id);
+                    (e.u, e.v, e.weight)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(edges(&a), edges(&b), "distinct seeds should sample distinct graphs");
     }
 
     #[test]
